@@ -1,0 +1,38 @@
+# Developer entry points for the NeuroSelect reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report quick-bench examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Smaller, faster benchmark settings for smoke runs.
+quick-bench:
+	REPRO_BENCH_PER_YEAR=3 REPRO_BENCH_LABEL_BUDGET=2000 \
+	REPRO_BENCH_EPOCHS=8 REPRO_BENCH_SOLVE_BUDGET=100000 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.bench.reporting
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,48 @@
+"""Ablation — symmetry-based data augmentation of the training split.
+
+The dataset is small by paper standards (hundreds of labelled instances
+cost two solver runs each); CNF symmetries offer free extra training
+data.  This bench trains the same model with and without one round of
+augmentation and reports both test accuracies.  Assertions check only
+sanity — at reproduction scale the effect is noisy and is reported,
+not asserted.
+"""
+
+from conftest import save_result
+
+from repro.bench.tables import format_dict_table
+from repro.models import NeuroSelect
+from repro.selection import Trainer, augment_dataset
+
+EPOCHS = 15
+
+
+def sweep_augmentation(dataset):
+    rows = []
+    for name, copies in (("no augmentation", 0), ("1x augmentation", 1)):
+        train = augment_dataset(dataset.train, copies=copies, base_seed=7)
+        model = NeuroSelect(hidden_dim=16, seed=0)
+        trainer = Trainer(model, learning_rate=3e-3, epochs=EPOCHS)
+        trainer.fit(train)
+        metrics = trainer.evaluate(dataset.test)
+        rows.append(
+            {
+                "variant": name,
+                "train instances": len(train),
+                "test accuracy": f"{100 * metrics.accuracy:.2f}%",
+                "test F1": f"{100 * metrics.f1:.2f}%",
+            }
+        )
+    return rows
+
+
+def test_ablation_augmentation(benchmark, dataset):
+    rows = benchmark.pedantic(
+        sweep_augmentation, args=(dataset,), rounds=1, iterations=1
+    )
+    save_result("ablation_augmentation", format_dict_table(rows))
+
+    assert len(rows) == 2
+    assert rows[1]["train instances"] == 2 * rows[0]["train instances"]
+    for row in rows:
+        assert 0.0 <= float(row["test accuracy"].rstrip("%")) <= 100.0

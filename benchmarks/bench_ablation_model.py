@@ -1,0 +1,58 @@
+"""Ablation — NeuroSelect capacity and architecture knobs.
+
+DESIGN.md's model follows the paper's Sec. 5.2 configuration (hidden 32,
+2 HGT layers, mean readout).  This sweep varies one knob at a time at a
+reduced training budget, reporting test accuracy per variant — the kind
+of study behind the paper's defaults.  Assertions only require sanity
+(all variants train and stay within bounds); at reproduction scale the
+capacity differences are below the noise floor and are reported, not
+asserted.
+"""
+
+from conftest import save_result
+
+from repro.bench.tables import format_dict_table
+from repro.models import NeuroSelect
+from repro.selection import Trainer
+
+VARIANTS = [
+    ("hidden=8", dict(hidden_dim=8)),
+    ("hidden=16 (bench default)", dict(hidden_dim=16)),
+    ("hgt-layers=1", dict(hidden_dim=16, num_hgt_layers=1)),
+    ("mpnn-per-hgt=1", dict(hidden_dim=16, mpnn_layers_per_hgt=1)),
+    ("readout=max", dict(hidden_dim=16, readout="max")),
+]
+
+EPOCHS = 15
+
+
+def sweep_variants(dataset):
+    rows = []
+    for name, kwargs in VARIANTS:
+        model = NeuroSelect(seed=0, **kwargs)
+        trainer = Trainer(model, learning_rate=3e-3, epochs=EPOCHS)
+        history = trainer.fit(dataset.train)
+        metrics = trainer.evaluate(dataset.test)
+        rows.append(
+            {
+                "variant": name,
+                "parameters": model.num_parameters(),
+                "final train loss": round(history.final_loss, 4),
+                "test accuracy": f"{100 * metrics.accuracy:.2f}%",
+            }
+        )
+    return rows
+
+
+def test_ablation_model(benchmark, dataset):
+    rows = benchmark.pedantic(sweep_variants, args=(dataset,), rounds=1, iterations=1)
+    save_result("ablation_model", format_dict_table(rows))
+
+    assert len(rows) == len(VARIANTS)
+    # Larger hidden width means more parameters, monotonically.
+    params = {r["variant"]: r["parameters"] for r in rows}
+    assert params["hidden=8"] < params["hidden=16 (bench default)"]
+    assert params["hgt-layers=1"] < params["hidden=16 (bench default)"]
+    # Every variant actually optimized (finite loss) and evaluated.
+    assert all(r["final train loss"] == r["final train loss"] for r in rows)
+    assert all(0.0 <= float(r["test accuracy"].rstrip("%")) <= 100.0 for r in rows)

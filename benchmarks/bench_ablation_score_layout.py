@@ -1,0 +1,56 @@
+"""Ablation — position of the frequency field in the packed score.
+
+Figure 5 places the new frequency criterion *below* glue and size (a
+tie-breaker).  The natural alternative reading promotes it to the most
+significant field.  This sweep compares: default (no frequency), the
+paper's layout, and frequency-first, reporting solved count and effort.
+Expected shape: the paper's tie-breaker layout stays close to the
+default (it only reorders within glue/size ties), while frequency-first
+is a much more aggressive — and usually worse — departure.
+"""
+
+from conftest import save_result
+
+from repro.bench.tables import format_dict_table
+from repro.policies import DefaultPolicy, FrequencyPolicy
+from repro.policies.score import FREQUENCY_FIRST_LAYOUT, FREQUENCY_LAYOUT
+from repro.selection.dataset import _instance_pool
+from repro.selection.labeling import default_labeling_config
+from repro.solver import Solver
+
+BUDGET = 150_000
+
+VARIANTS = [
+    ("default (no frequency)", lambda: DefaultPolicy()),
+    ("paper layout (glue,size,freq)", lambda: FrequencyPolicy(layout=FREQUENCY_LAYOUT)),
+    ("frequency-first", lambda: FrequencyPolicy(layout=FREQUENCY_FIRST_LAYOUT)),
+]
+
+
+def sweep_layouts():
+    suite = [cnf for _, cnf in _instance_pool(2022, 6, 1.0)]
+    rows = []
+    for name, factory in VARIANTS:
+        total = 0
+        solved = 0
+        for cnf in suite:
+            result = Solver(
+                cnf, policy=factory(), config=default_labeling_config()
+            ).solve(max_propagations=BUDGET)
+            total += result.stats.propagations
+            solved += result.status.value != "UNKNOWN"
+        rows.append({"variant": name, "solved": solved, "total propagations": total})
+    return rows
+
+
+def test_ablation_score_layout(benchmark):
+    rows = benchmark.pedantic(sweep_layouts, rounds=1, iterations=1)
+    save_result("ablation_score_layout", format_dict_table(rows))
+
+    by_name = {r["variant"]: r for r in rows}
+    assert len(by_name) == 3
+    # The paper's layout must stay within a reasonable factor of the best
+    # variant (it is a tie-breaker, not a rewrite of the policy).
+    efforts = {k: v["total propagations"] for k, v in by_name.items()}
+    paper = efforts["paper layout (glue,size,freq)"]
+    assert paper <= 2.0 * min(efforts.values())

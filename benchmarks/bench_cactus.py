@@ -1,0 +1,44 @@
+"""Extension — cactus plot (solved count vs. time budget).
+
+The standard SAT-competition presentation, complementing Table 3's
+point statistics: how many test instances each solver variant decides
+within increasing budgets, with the per-instance-best oracle as the
+upper bound.  Shape requirement: the oracle dominates, and the selector
+sits between the two fixed policies (or matches the better one).
+"""
+
+from conftest import SOLVE_BUDGET, save_result
+
+from repro.bench.experiments import cactus_plot_data
+
+
+def test_cactus(benchmark, dataset, trained_model):
+    result = benchmark.pedantic(
+        cactus_plot_data,
+        args=(dataset.test, trained_model),
+        kwargs={"max_propagations": SOLVE_BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("cactus", result.render())
+
+    full = result.timeout_seconds
+    # The oracle solves at least as many as either fixed policy at the
+    # full budget.
+    assert result.solved_within("Oracle", full) >= result.solved_within("Kissat", full)
+    assert result.solved_within("Oracle", full) >= result.solved_within(
+        "Kissat-new", full
+    )
+    # Monotone curves: more budget never solves fewer.
+    for name in result.series:
+        counts = [
+            result.solved_within(name, full * f)
+            for f in (0.1, 0.25, 0.5, 1.0)
+        ]
+        assert counts == sorted(counts)
+    # The selector never falls below the worse fixed policy at full budget.
+    worst_fixed = min(
+        result.solved_within("Kissat", full),
+        result.solved_within("Kissat-new", full),
+    )
+    assert result.solved_within("NeuroSelect-Kissat", full) >= worst_fixed

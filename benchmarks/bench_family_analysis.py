@@ -1,0 +1,58 @@
+"""Extension — per-family policy preference.
+
+Figure 4's discussion attributes the instance-dependence of deletion
+policies to instance *structure*.  This bench breaks the head-to-head
+comparison down by generator family, showing which structures favour
+the propagation-frequency policy (the analysis a practitioner would run
+before trusting a learned selector).
+"""
+
+from collections import defaultdict
+
+from conftest import SOLVE_BUDGET, save_result
+
+from repro.bench import fig4_policy_scatter
+from repro.bench.tables import format_dict_table
+
+
+def test_family_analysis(benchmark, dataset):
+    instances = dataset.all_instances()
+    result = benchmark.pedantic(
+        fig4_policy_scatter,
+        args=(instances,),
+        kwargs={"max_propagations": SOLVE_BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+
+    per_family = defaultdict(lambda: {"wins": 0, "losses": 0, "ties": 0, "n": 0})
+    for inst, d, f in zip(
+        instances, result.default_seconds, result.frequency_seconds
+    ):
+        bucket = per_family[inst.family]
+        bucket["n"] += 1
+        if f < d:
+            bucket["wins"] += 1
+        elif f > d:
+            bucket["losses"] += 1
+        else:
+            bucket["ties"] += 1
+
+    rows = [
+        {
+            "family": family,
+            "instances": stats["n"],
+            "frequency wins": stats["wins"],
+            "losses": stats["losses"],
+            "ties": stats["ties"],
+        }
+        for family, stats in sorted(per_family.items())
+    ]
+    save_result("family_analysis", format_dict_table(rows))
+
+    assert sum(r["instances"] for r in rows) == len(instances)
+    # The aggregate must match the Figure 4 summary.
+    assert sum(r["frequency wins"] for r in rows) == result.wins
+    assert sum(r["losses"] for r in rows) == result.losses
+    # At least one family must diverge at all (ties < n somewhere).
+    assert any(r["ties"] < r["instances"] for r in rows)

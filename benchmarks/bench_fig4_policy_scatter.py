@@ -1,0 +1,32 @@
+"""Figure 4 — default vs. frequency-guided clause deletion, head to head.
+
+The paper's scatter shows both policies winning on different instances
+(motivating adaptive selection), with most points near the diagonal and
+some far from it.  We reproduce the scatter over the test-year suite and
+assert that *both* directions occur.
+"""
+
+from conftest import SOLVE_BUDGET, save_result
+
+from repro.bench import fig4_policy_scatter
+
+
+def test_fig4_policy_scatter(benchmark, dataset):
+    suite = dataset.all_instances()
+    result = benchmark.pedantic(
+        fig4_policy_scatter,
+        args=(suite,),
+        kwargs={"max_propagations": SOLVE_BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig4_policy_scatter", result.render())
+
+    assert len(result.names) == len(suite)
+    # Shape of Figure 4: the new policy wins on some instances and loses
+    # on others — neither policy dominates.
+    assert result.wins > 0, "frequency policy should win somewhere"
+    assert result.losses > 0, "default policy should win somewhere"
+    # Effort is bounded by the virtual timeout.
+    assert all(s <= result.scale.timeout_seconds for s in result.default_seconds)
+    assert all(s <= result.scale.timeout_seconds for s in result.frequency_seconds)

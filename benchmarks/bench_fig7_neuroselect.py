@@ -1,0 +1,35 @@
+"""Figure 7 — NeuroSelect-Kissat vs. Kissat, and inference-cost boxplots.
+
+7(a): per-instance runtime scatter of NeuroSelect-Kissat against stock
+Kissat on the test year.  7(b): distributions of model inference time
+(0.01-2.22 s in the paper — negligible) and of per-instance runtime
+improvement.  Reproduced shape: inference cost is orders of magnitude
+below solve cost, and the selector never loses an instance that stock
+Kissat solves.
+"""
+
+import statistics
+
+from conftest import SOLVE_BUDGET, save_result
+
+from repro.bench import fig7_table3_end_to_end
+
+
+def test_fig7_neuroselect(benchmark, dataset, trained_model):
+    result = benchmark.pedantic(
+        fig7_table3_end_to_end,
+        args=(dataset.test, trained_model),
+        kwargs={"max_propagations": SOLVE_BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig7_neuroselect", result.render_fig7())
+
+    # Inference is a one-time, CPU-cheap cost (paper: 0.01 - 2.22 s real
+    # seconds; here: well under a second of wall clock per instance).
+    assert all(0.0 <= t < 5.0 for t in result.inference_seconds)
+    mean_solve = statistics.fmean(result.kissat_seconds)
+    assert statistics.fmean(result.inference_seconds) < mean_solve
+
+    # The selector solves at least as many instances as stock Kissat.
+    assert result.neuroselect_stats.solved >= result.kissat_stats.solved

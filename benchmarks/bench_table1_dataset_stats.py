@@ -1,0 +1,35 @@
+"""Table 1 — statistics of the training and test datasets.
+
+The paper's table lists, per competition year, the number of CNFs and
+the mean variable/clause counts after the 400k-node filter.  We
+reproduce the same columns over the synthetic year-keyed dataset and
+assert the structural properties: six training years plus the held-out
+2022 test year, with instance sizes in a consistent band.
+"""
+
+from conftest import save_result
+
+from repro.bench import table1_dataset_statistics
+from repro.selection import dataset_statistics
+
+
+def test_table1_dataset_statistics(benchmark, dataset):
+    text = benchmark.pedantic(
+        table1_dataset_statistics, args=(dataset,), rounds=1, iterations=1
+    )
+    balance = dataset.label_balance()
+    text += (
+        f"\nlabel balance: train {100 * balance['train']:.1f}% "
+        f"test {100 * balance['test']:.1f}% positive (label 1 = frequency policy wins)"
+    )
+    save_result("table1_dataset_stats", text)
+
+    rows = dataset_statistics(dataset)
+    years = {(r.split, r.year) for r in rows}
+    assert ("Test", 2022) in years
+    assert sum(1 for split, _ in years if split == "Training") == 6
+    for row in rows:
+        assert row.num_cnfs > 0
+        assert row.mean_variables > 0
+        # Clause/variable ratio sanity (CNFs are non-trivial).
+        assert row.mean_clauses > row.mean_variables

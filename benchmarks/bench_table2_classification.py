@@ -1,0 +1,37 @@
+"""Table 2 — SAT classification model comparison.
+
+The paper compares NeuroSAT, G4SATBench's GIN, NeuroSelect without the
+attention block, and full NeuroSelect on precision / recall / F1 /
+accuracy over the test year.  Reproduced shape: NeuroSelect is the best
+model overall, and removing its attention block does not improve it —
+matching the paper's ranking (69.44% > 63.89% > baselines).
+"""
+
+from conftest import EPOCHS, save_result
+
+from repro.bench import default_table2_models, table2_classification
+
+
+def test_table2_classification(benchmark, dataset):
+    models = default_table2_models(hidden_dim=16, seed=0)
+    result = benchmark.pedantic(
+        table2_classification,
+        args=(dataset,),
+        kwargs={"models": models, "epochs": EPOCHS},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2_classification", result.render())
+
+    accuracy = {row["model"]: result.accuracy_of(row["model"]) for row in result.rows}
+    assert set(accuracy) == set(models)
+    # Shape of Table 2: full NeuroSelect is the top model.  At
+    # reproduction scale (a dozen test instances) one instance of slack
+    # is allowed — a single lucky/unlucky flip must not decide the rank.
+    slack = 100.0 / len(dataset.test) + 1e-9
+    best = max(accuracy.values())
+    assert accuracy["NeuroSelect"] >= accuracy["NeuroSAT"] - slack
+    assert accuracy["NeuroSelect"] >= accuracy["G4SATBench (GIN)"] - slack
+    assert accuracy["NeuroSelect"] >= best - slack
+    # Everything within [0, 100].
+    assert all(0.0 <= a <= 100.0 for a in accuracy.values())

@@ -1,0 +1,61 @@
+"""Shared session fixtures for the benchmark suite.
+
+The expensive artifacts — the labelled dataset and the trained selector —
+are built once per pytest session and shared by every bench.  Scale knobs
+come from environment variables so the same files serve quick CI runs and
+full paper-scale reproductions:
+
+    REPRO_BENCH_PER_YEAR    instances per competition "year"   (default 8)
+    REPRO_BENCH_LABEL_BUDGET  conflict budget per labelling run (default 8000)
+    REPRO_BENCH_EPOCHS      training epochs                     (default 30)
+    REPRO_BENCH_SOLVE_BUDGET  propagation budget = 5000 s role  (default 300000)
+
+Every bench writes its paper-style rendering to benchmarks/results/ so
+the numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.models import NeuroSelect
+from repro.selection import Trainer, build_dataset
+
+PER_YEAR = int(os.environ.get("REPRO_BENCH_PER_YEAR", "12"))
+LABEL_BUDGET = int(os.environ.get("REPRO_BENCH_LABEL_BUDGET", "8000"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "40"))
+SOLVE_BUDGET = int(os.environ.get("REPRO_BENCH_SOLVE_BUDGET", "300000"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The labelled train/test dataset (Table 1's analogue)."""
+    return build_dataset(instances_per_year=PER_YEAR, max_conflicts=LABEL_BUDGET)
+
+
+@pytest.fixture(scope="session")
+def trained_model(dataset):
+    """A NeuroSelect classifier trained on the training years.
+
+    After fitting, the decision threshold is re-calibrated in
+    cost-sensitive ("effort") mode on the training split: the end-to-end
+    experiments care about propagations saved, not F1.
+    """
+    model = NeuroSelect(hidden_dim=16, seed=0)
+    trainer = Trainer(model, learning_rate=3e-3, epochs=EPOCHS)
+    trainer.fit(dataset.train)
+    trainer.calibrate_threshold(dataset.train, mode="effort")
+    return model
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a bench's rendered output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    # Also echo for -s runs.
+    print(f"\n=== {name} ===\n{text}")

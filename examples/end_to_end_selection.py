@@ -1,0 +1,44 @@
+"""NeuroSelect-Kissat end to end: classify once, pick a policy, solve.
+
+The full Sec. 5.4 pipeline: build a labelled dataset, train the
+classifier on the training years, then compare stock Kissat against
+NeuroSelect-Kissat on the held-out test year — Figure 7 and Table 3.
+
+Run:  python examples/end_to_end_selection.py [--per-year N]
+"""
+
+import argparse
+
+from repro.bench import fig7_table3_end_to_end, oracle_end_to_end
+from repro.bench.tables import format_dict_table
+from repro.models import NeuroSelect
+from repro.selection import Trainer, build_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--per-year", type=int, default=6)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--budget", type=int, default=300_000,
+                        help="propagation budget playing the 5000 s timeout role")
+    args = parser.parse_args()
+
+    print("building dataset and training the selector ...")
+    dataset = build_dataset(instances_per_year=args.per_year, max_conflicts=8000)
+    model = NeuroSelect(hidden_dim=32, seed=0)
+    Trainer(model, learning_rate=3e-3, epochs=args.epochs).fit(dataset.train)
+
+    print("\nevaluating on the held-out test year ...")
+    result = fig7_table3_end_to_end(dataset.test, model, max_propagations=args.budget)
+    print("\nFigure 7(a)/(b):")
+    print(result.render_fig7())
+    print("\nTable 3:")
+    print(result.render_table3())
+
+    oracle = oracle_end_to_end(dataset.test, max_propagations=args.budget)
+    print("\nupper bound (per-instance best policy):")
+    print(format_dict_table([oracle.as_row()]))
+
+
+if __name__ == "__main__":
+    main()

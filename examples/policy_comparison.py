@@ -1,0 +1,55 @@
+"""Compare the two clause-deletion policies head-to-head (paper Sec. 3).
+
+Generates a mixed instance suite, solves each instance under Kissat's
+default glue/size policy and under the propagation-frequency policy, and
+prints a Figure 4-style scatter: instances below the diagonal are wins
+for the new policy, instances above are losses — motivating adaptive
+per-instance selection.
+
+Run:  python examples/policy_comparison.py [--instances N]
+"""
+
+import argparse
+
+from repro.bench import fig4_policy_scatter
+from repro.selection.dataset import _instance_pool, LabeledInstance
+from repro.selection.labeling import PolicyComparison
+from repro.solver.types import Status
+
+
+def make_suite(count: int):
+    """A deterministic mixed-family suite (no labels needed here)."""
+    instances = []
+    for family, cnf in _instance_pool(2022, count, scale=1.0):
+        placeholder = PolicyComparison(
+            default_result_status=Status.UNKNOWN,
+            frequency_result_status=Status.UNKNOWN,
+            default_propagations=0,
+            frequency_propagations=0,
+            label=0,
+        )
+        instances.append(
+            LabeledInstance(cnf=cnf, year=2022, family=family, comparison=placeholder)
+        )
+    return instances
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instances", type=int, default=10)
+    parser.add_argument("--budget", type=int, default=300_000,
+                        help="propagation budget playing the 5000 s timeout role")
+    args = parser.parse_args()
+
+    suite = make_suite(args.instances)
+    print(f"solving {len(suite)} instances under both policies ...")
+    result = fig4_policy_scatter(suite, max_propagations=args.budget)
+    print(result.render())
+    print()
+    for name, d, f in zip(result.names, result.default_seconds, result.frequency_seconds):
+        marker = "<" if f < d else (">" if f > d else "=")
+        print(f"  {name}: default {d:8.1f} s  {marker}  frequency {f:8.1f} s")
+
+
+if __name__ == "__main__":
+    main()

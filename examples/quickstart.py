@@ -1,0 +1,43 @@
+"""Quickstart: build a formula, solve it, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cnf import CNF, parse_dimacs, random_ksat
+from repro.policies import DefaultPolicy, FrequencyPolicy
+from repro.solver import Solver, Status
+
+
+def main() -> None:
+    # 1. Build a CNF by hand: (x1 | x2) & (~x2 | x3) & (~x1 | ~x3).
+    cnf = CNF([[1, 2], [-2, 3], [-1, -3]])
+    result = Solver(cnf).solve()
+    assert result.status is Status.SATISFIABLE
+    print("hand-built formula:", result.status.value)
+    print("  model:", {v: result.model[v] for v in range(1, cnf.num_vars + 1)})
+
+    # 2. Or parse DIMACS text (files work too: parse_dimacs_file).
+    cnf = parse_dimacs("""
+        c a tiny unsatisfiable instance
+        p cnf 2 4
+        1 2 0
+        1 -2 0
+        -1 2 0
+        -1 -2 0
+    """)
+    print("DIMACS formula:", Solver(cnf).solve().status.value)
+
+    # 3. A harder random instance, solved under both deletion policies.
+    cnf = random_ksat(num_vars=120, num_clauses=510, seed=7)
+    for policy in (DefaultPolicy(), FrequencyPolicy()):
+        result = Solver(cnf, policy=policy).solve(max_conflicts=50_000)
+        stats = result.stats
+        print(
+            f"random 3-SAT with {policy.name:9s} policy: {result.status.value:13s} "
+            f"conflicts={stats.conflicts} propagations={stats.propagations} "
+            f"deleted={stats.deleted_clauses}"
+        )
+
+
+if __name__ == "__main__":
+    main()

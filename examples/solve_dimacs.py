@@ -1,0 +1,62 @@
+"""Command-line SAT solver over DIMACS files.
+
+Usage:
+    python examples/solve_dimacs.py FILE.cnf [--policy default|frequency]
+                                    [--proof out.drat] [--max-conflicts N]
+                                    [--assume LIT ...]
+
+Prints an s-line / v-line in SAT-competition style and solver statistics.
+With --proof, UNSAT answers come with a DRAT certificate that
+``repro.solver.check_drat`` (or drat-trim) can verify.
+"""
+
+import argparse
+import sys
+
+from repro.cnf import parse_dimacs_file
+from repro.policies import get_policy
+from repro.solver import ProofLog, Solver, Status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="DIMACS CNF file")
+    parser.add_argument("--policy", default="default", choices=["default", "frequency"])
+    parser.add_argument("--proof", help="write a DRAT proof here")
+    parser.add_argument("--max-conflicts", type=int, default=None)
+    parser.add_argument("--assume", type=int, nargs="*", default=[])
+    args = parser.parse_args(argv)
+
+    cnf = parse_dimacs_file(args.file)
+    proof = ProofLog(args.proof) if args.proof else None
+    solver = Solver(cnf, policy=get_policy(args.policy), proof=proof)
+    result = solver.solve(assumptions=args.assume, max_conflicts=args.max_conflicts)
+    if proof is not None:
+        proof.close()
+
+    if result.status is Status.SATISFIABLE:
+        print("s SATISFIABLE")
+        literals = [
+            v if result.model[v] else -v for v in range(1, cnf.num_vars + 1)
+        ]
+        print("v " + " ".join(map(str, literals)) + " 0")
+        exit_code = 10
+    elif result.status is Status.UNSATISFIABLE:
+        print("s UNSATISFIABLE")
+        exit_code = 20
+    else:
+        print("s UNKNOWN")
+        exit_code = 0
+
+    stats = result.stats
+    print(f"c policy       {args.policy}")
+    print(f"c conflicts    {stats.conflicts}")
+    print(f"c decisions    {stats.decisions}")
+    print(f"c propagations {stats.propagations}")
+    print(f"c restarts     {stats.restarts}")
+    print(f"c reductions   {stats.reductions} (deleted {stats.deleted_clauses} clauses)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

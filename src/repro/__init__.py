@@ -1,0 +1,51 @@
+"""repro — reproduction of *NeuroSelect: Learning to Select Clauses in SAT
+Solvers* (Liu et al., DAC 2024).
+
+Subpackages
+-----------
+
+``repro.cnf``
+    CNF formulas, DIMACS I/O, seeded instance generators, features.
+``repro.solver``
+    A from-scratch CDCL SAT solver with propagation-frequency tracking
+    and pluggable clause deletion (the Kissat stand-in).
+``repro.policies``
+    Clause-deletion policies: Kissat's default glue/size scoring and the
+    paper's propagation-frequency policy (Figure 5, Eq. 2).
+``repro.nn``
+    A small numpy autograd / neural-network framework (the PyTorch
+    stand-in): tensors, layers, Adam, BCE loss.
+``repro.graph``
+    CNF-to-graph encodings (bipartite variable-clause graph of Sec. 4.2,
+    literal-clause graph for the NeuroSAT baseline).
+``repro.models``
+    The NeuroSelect Hybrid Graph Transformer (MPNN + linear attention)
+    and the baseline classifiers of Table 2.
+``repro.selection``
+    Label generation, datasets, training, metrics, and the end-to-end
+    NeuroSelect-Kissat selector.
+``repro.bench``
+    Experiment harness reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.cnf import CNF, Clause, parse_dimacs, to_dimacs
+from repro.solver import Solver, SolverConfig, SolveResult, Status, solve
+from repro.policies import DefaultPolicy, FrequencyPolicy, get_policy
+
+__all__ = [
+    "__version__",
+    "CNF",
+    "Clause",
+    "parse_dimacs",
+    "to_dimacs",
+    "Solver",
+    "SolverConfig",
+    "SolveResult",
+    "Status",
+    "solve",
+    "DefaultPolicy",
+    "FrequencyPolicy",
+    "get_policy",
+]

@@ -1,0 +1,177 @@
+"""EXPERIMENTS.md generation from benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` writes each experiment's
+paper-style output into ``benchmarks/results/``;
+:func:`build_experiments_md` assembles those files, together with the
+paper's reference numbers, into the repository's ``EXPERIMENTS.md`` so
+the published comparison always reflects an actual run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+#: Paper-reported reference values, quoted verbatim for the comparison.
+PAPER_REFERENCE = {
+    "fig3_propagation_frequency": (
+        "Figure 3 — distribution of variable propagation frequency",
+        "A handful of variables are propagated far more often than the rest "
+        "(heavily skewed distribution on a SAT Competition 2022 instance).",
+    ),
+    "fig4_policy_scatter": (
+        "Figure 4 — default vs. new clause deletion policy",
+        "Instances fall on both sides of the diagonal under a 5,000 s "
+        "timeout: neither policy dominates, motivating adaptive selection.",
+    ),
+    "table1_dataset_stats": (
+        "Table 1 — dataset statistics",
+        "736 training CNFs from 2016-2021 (means 12k-17k variables, "
+        "69k-100k clauses per year) and 144 test CNFs from 2022, after "
+        "excluding formulas whose graphs exceed 400k nodes.",
+    ),
+    "table2_classification": (
+        "Table 2 — SAT classification models",
+        "NeuroSAT 56.94%, G4SATBench 54.86%, NeuroSelect w/o attention "
+        "63.89%, NeuroSelect 69.44% accuracy; full NeuroSelect best on "
+        "precision (66.00%) and F1 (60.50%).",
+    ),
+    "fig7_neuroselect": (
+        "Figure 7 — NeuroSelect-Kissat performance",
+        "(a) most instances at or below the diagonal vs. Kissat; wrong "
+        "selections are few and near the diagonal.  (b) inference takes "
+        "0.01-2.22 s; runtime improvements reach 4,425 s.",
+    ),
+    "table3_runtime": (
+        "Table 3 — runtime statistics on SAT Competition 2022",
+        "Kissat: 274 solved, median 307.02 s, average 713.28 s. "
+        "NeuroSelect-Kissat: 274 solved, median 271.34 s (-5.8%), "
+        "average 671.73 s.",
+    ),
+    "complexity_scaling": (
+        "Sec. 4.3 — complexity analysis (extension measurement)",
+        "Claimed: one inference costs O(|E| + |V1|) — linear in formula size.",
+    ),
+    "ablation_alpha": (
+        "Ablation — Eq. (2) threshold α (design choice)",
+        "Paper fixes α = 4/5 'according to our empirical studies'.",
+    ),
+    "ablation_score_layout": (
+        "Ablation — packed-score layout (Figure 5 reading)",
+        "Paper places frequency below glue and size; the figure's OCR "
+        "admits a frequency-first reading, compared here.",
+    ),
+    "ablation_reduce": (
+        "Ablation — reduce scheduling (substitution parameter)",
+        "No paper reference; justifies the scaled-down Kissat reduce "
+        "interval used throughout (DESIGN.md).",
+    ),
+    "family_analysis": (
+        "Extension — per-family policy preference",
+        "No paper reference; breaks Figure 4 down by instance family.",
+    ),
+    "cactus": (
+        "Extension — cactus plot (solved vs. budget)",
+        "No paper reference; the standard SAT-competition presentation "
+        "complementing Table 3, with the virtual-best oracle as bound.",
+    ),
+    "ablation_augmentation": (
+        "Ablation — symmetry data augmentation (extension)",
+        "No paper reference; measures whether CNF-symmetry augmentation "
+        "of the small training split helps the classifier.",
+    ),
+    "ablation_model": (
+        "Ablation — NeuroSelect capacity/architecture (design choice)",
+        "Paper fixes hidden 32, two HGT layers with three MPNN layers "
+        "each, mean readout (Sec. 5.2).",
+    ),
+}
+
+#: Presentation order of the report sections.
+SECTION_ORDER = [
+    "fig3_propagation_frequency",
+    "fig4_policy_scatter",
+    "table1_dataset_stats",
+    "table2_classification",
+    "fig7_neuroselect",
+    "table3_runtime",
+    "complexity_scaling",
+    "ablation_alpha",
+    "ablation_score_layout",
+    "ablation_reduce",
+    "ablation_model",
+    "ablation_augmentation",
+    "family_analysis",
+    "cactus",
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Generated from `benchmarks/results/` (the output of
+`pytest benchmarks/ --benchmark-only`).  Absolute numbers are **not**
+expected to match the paper — the substrate is a pure-Python CDCL solver
+on synthetic instances with propagation-count timeouts (see DESIGN.md
+for the substitution table).  What must match, and is asserted by every
+benchmark, is the *shape* of each result: who wins, how distributions
+skew, how models rank, and where the crossovers fall.
+
+Regenerate with:
+
+```bash
+pytest benchmarks/ --benchmark-only      # writes benchmarks/results/
+python -m repro.bench.reporting          # rebuilds this file
+```
+"""
+
+
+@dataclass
+class Section:
+    name: str
+    title: str
+    paper: str
+    measured: Optional[str]
+
+    def render(self) -> str:
+        measured = (
+            f"```\n{self.measured.rstrip()}\n```"
+            if self.measured
+            else "_no result file found — run the benchmarks first_"
+        )
+        return (
+            f"## {self.title}\n\n"
+            f"**Paper:** {self.paper}\n\n"
+            f"**Measured (this repository):**\n\n{measured}\n"
+        )
+
+
+def collect_sections(results_dir: Path) -> List[Section]:
+    """Pair each known experiment with its result file (if present)."""
+    sections = []
+    for name in SECTION_ORDER:
+        title, paper = PAPER_REFERENCE[name]
+        path = results_dir / f"{name}.txt"
+        measured = path.read_text() if path.exists() else None
+        sections.append(Section(name=name, title=title, paper=paper, measured=measured))
+    return sections
+
+
+def build_experiments_md(
+    results_dir: Optional[Path] = None,
+    output: Optional[Path] = None,
+) -> str:
+    """Assemble EXPERIMENTS.md; returns the text (and writes ``output``)."""
+    repo_root = Path(__file__).resolve().parents[3]
+    results_dir = results_dir or repo_root / "benchmarks" / "results"
+    output = output or repo_root / "EXPERIMENTS.md"
+
+    parts = [HEADER]
+    parts.extend(section.render() for section in collect_sections(results_dir))
+    text = "\n".join(parts)
+    output.write_text(text)
+    return text
+
+
+if __name__ == "__main__":
+    build_experiments_md()
+    print("EXPERIMENTS.md rebuilt")

@@ -1,0 +1,136 @@
+"""Suite runner: solve instance sets under policies and collect records."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.calibration import EffortScale
+from repro.cnf.formula import CNF
+from repro.selection.labeling import default_labeling_config
+from repro.policies.registry import get_policy
+from repro.solver.solver import Solver, SolverConfig
+from repro.solver.types import Status
+
+
+@dataclass
+class InstanceRecord:
+    """One (instance, solver-variant) run."""
+
+    name: str
+    family: str
+    policy: str
+    status: Status
+    propagations: int
+    conflicts: int
+    wall_seconds: float
+    inference_seconds: float = 0.0
+
+    @property
+    def solved(self) -> bool:
+        return self.status is not Status.UNKNOWN
+
+
+def run_instance(
+    cnf: CNF,
+    policy_name: str,
+    max_propagations: int,
+    name: str = "",
+    family: str = "",
+    config: Optional[SolverConfig] = None,
+) -> InstanceRecord:
+    """Solve one instance under one policy with a propagation timeout."""
+    solver = Solver(
+        cnf,
+        policy=get_policy(policy_name),
+        config=config or default_labeling_config(),
+    )
+    start = time.perf_counter()
+    result = solver.solve(max_propagations=max_propagations)
+    wall = time.perf_counter() - start
+    return InstanceRecord(
+        name=name or repr(cnf),
+        family=family,
+        policy=policy_name,
+        status=result.status,
+        propagations=result.stats.propagations,
+        conflicts=result.stats.conflicts,
+        wall_seconds=wall,
+    )
+
+
+def run_suite(
+    instances: Sequence,
+    policy_name: str,
+    max_propagations: int,
+    config: Optional[SolverConfig] = None,
+) -> List[InstanceRecord]:
+    """Run every ``LabeledInstance`` (or CNF) under one policy."""
+    records = []
+    for i, inst in enumerate(instances):
+        cnf = getattr(inst, "cnf", inst)
+        family = getattr(inst, "family", "")
+        records.append(
+            run_instance(
+                cnf,
+                policy_name,
+                max_propagations,
+                name=f"inst-{i:03d}",
+                family=family,
+                config=config,
+            )
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class SuiteStatistics:
+    """Solved / median / average — one row of Table 3."""
+
+    solver_name: str
+    solved: int
+    total: int
+    median_seconds: float
+    average_seconds: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "solver": self.solver_name,
+            "solved": self.solved,
+            "median (s)": round(self.median_seconds, 2),
+            "average (s)": round(self.average_seconds, 2),
+        }
+
+
+def suite_statistics(
+    records: Sequence[InstanceRecord],
+    scale: EffortScale,
+    solver_name: str,
+    include_inference: bool = True,
+) -> SuiteStatistics:
+    """Aggregate a suite run the way Table 3 does.
+
+    Unsolved instances count as the full timeout; the median and average
+    are taken over *all* instances.  NeuroSelect-Kissat's runtime
+    "includes both model inference and SAT-solving durations" (Sec. 5.4),
+    so inference seconds are added when present.
+    """
+    seconds: List[float] = []
+    solved = 0
+    for record in records:
+        value = scale.timeout_seconds if not record.solved else scale.to_seconds(
+            record.propagations
+        )
+        if include_inference:
+            value = min(value + record.inference_seconds, scale.timeout_seconds)
+        seconds.append(value)
+        solved += record.solved
+    return SuiteStatistics(
+        solver_name=solver_name,
+        solved=solved,
+        total=len(records),
+        median_seconds=statistics.median(seconds) if seconds else 0.0,
+        average_seconds=statistics.fmean(seconds) if seconds else 0.0,
+    )

@@ -1,0 +1,84 @@
+"""Plain-text table and series formatting for experiment output.
+
+Every bench prints its result through these helpers so the harness
+output visually parallels the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_dict_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Table from homogeneous dict rows (keys of the first row = headers)."""
+    if not rows:
+        return "(empty)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row.get(h, "") for h in headers] for row in rows])
+
+
+def format_scatter(
+    pairs: Sequence[Sequence[float]],
+    x_label: str,
+    y_label: str,
+    width: int = 48,
+    height: int = 16,
+) -> str:
+    """ASCII scatter plot with the y=x diagonal, for Figure 4 / 7(a)."""
+    if not pairs:
+        return "(no points)"
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    hi = max(max(xs), max(ys)) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for row in range(height):
+        # The y = x diagonal (origin bottom-left).
+        col = int((height - 1 - row) / (height - 1) * (width - 1))
+        grid[row][col] = "."
+    for x, y in pairs:
+        col = min(int(x / hi * (width - 1)), width - 1)
+        row = height - 1 - min(int(y / hi * (height - 1)), height - 1)
+        grid[row][col] = "o"
+    lines = ["".join(r) for r in grid]
+    lines.append(f"x: {x_label} (0..{hi:.0f}), y: {y_label}; '.' = diagonal")
+    return "\n".join(lines)
+
+
+def format_box_stats(values: Sequence[float], label: str) -> str:
+    """Five-number summary standing in for a box-and-whisker plot (Fig 7b)."""
+    if not values:
+        return f"{label}: (no data)"
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def quantile(q: float) -> float:
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    return (
+        f"{label}: min={ordered[0]:.4g} q1={quantile(0.25):.4g} "
+        f"median={quantile(0.5):.4g} q3={quantile(0.75):.4g} max={ordered[-1]:.4g}"
+    )
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,384 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's workflow:
+
+* ``solve``      — solve a DIMACS file (policy, proof, assumptions, budgets)
+* ``generate``   — write instances from any generator family
+* ``features``   — print static features of a formula
+* ``preprocess`` — simplify a formula and write the result
+* ``label``      — run both deletion policies and print the Sec. 5.1 label
+* ``dataset``    — build and save a labelled dataset
+* ``train``      — train NeuroSelect (fresh or saved dataset), save weights
+* ``select``     — load weights, pick a policy for a formula, solve it
+* ``trim``       — solve UNSAT, emit a conflict-cone-trimmed DRAT proof
+* ``report``     — rebuild EXPERIMENTS.md from benchmark results
+
+Each subcommand is a thin shell over public library calls, so anything
+the CLI does is equally scriptable from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.cnf import (
+    GENERATOR_FAMILIES,
+    extract_features,
+    parse_dimacs_file,
+    write_dimacs_file,
+)
+from repro.policies import get_policy, policy_names
+from repro.solver import ProofLog, Solver, Status
+
+
+def _add_solve(subparsers) -> None:
+    p = subparsers.add_parser("solve", help="solve a DIMACS CNF file")
+    p.add_argument("file")
+    p.add_argument("--policy", default="default", choices=policy_names())
+    p.add_argument("--proof", help="write a DRAT proof to this path")
+    p.add_argument("--max-conflicts", type=int)
+    p.add_argument("--max-propagations", type=int)
+    p.add_argument("--assume", type=int, nargs="*", default=[])
+    p.add_argument("--preprocess", action="store_true",
+                   help="run the simplification pipeline first")
+    p.set_defaults(func=cmd_solve)
+
+
+def cmd_solve(args) -> int:
+    """Handle ``repro solve``: solve a DIMACS file, print s/v lines."""
+    cnf = parse_dimacs_file(args.file)
+    if args.preprocess:
+        from repro.simplify import solve_with_preprocessing
+
+        result = solve_with_preprocessing(
+            cnf,
+            max_conflicts=args.max_conflicts,
+            max_propagations=args.max_propagations,
+        )
+    else:
+        proof = ProofLog(args.proof) if args.proof else None
+        solver = Solver(cnf, policy=get_policy(args.policy), proof=proof)
+        result = solver.solve(
+            assumptions=args.assume,
+            max_conflicts=args.max_conflicts,
+            max_propagations=args.max_propagations,
+        )
+        if proof is not None:
+            proof.close()
+
+    print(f"s {result.status.value}")
+    if result.status is Status.SATISFIABLE:
+        literals = [v if result.model[v] else -v for v in range(1, cnf.num_vars + 1)]
+        print("v " + " ".join(map(str, literals)) + " 0")
+    for key, value in result.stats.to_dict().items():
+        print(f"c {key} {value}")
+    return {Status.SATISFIABLE: 10, Status.UNSATISFIABLE: 20}.get(result.status, 0)
+
+
+def _add_generate(subparsers) -> None:
+    p = subparsers.add_parser("generate", help="generate a CNF instance")
+    p.add_argument("family", choices=sorted(GENERATOR_FAMILIES))
+    p.add_argument("--out", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="generator keyword argument (repeatable)")
+    p.set_defaults(func=cmd_generate)
+
+
+def _parse_params(raw: List[str]) -> dict:
+    params = {}
+    for item in raw:
+        if "=" not in item:
+            raise SystemExit(f"--param needs NAME=VALUE, got {item!r}")
+        name, value = item.split("=", 1)
+        try:
+            params[name] = json.loads(value)
+        except json.JSONDecodeError:
+            params[name] = value
+    return params
+
+
+def cmd_generate(args) -> int:
+    """Handle ``repro generate``: write one generator-family instance."""
+    factory = GENERATOR_FAMILIES[args.family]
+    params = _parse_params(args.param)
+    if args.family != "pigeonhole":
+        params.setdefault("seed", args.seed)
+    cnf = factory(**params)
+    write_dimacs_file(cnf, args.out)
+    print(f"wrote {args.out}: {cnf.num_vars} variables, {cnf.num_clauses} clauses")
+    return 0
+
+
+def _add_features(subparsers) -> None:
+    p = subparsers.add_parser("features", help="print static formula features")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_features)
+
+
+def cmd_features(args) -> int:
+    """Handle ``repro features``: print static formula features."""
+    cnf = parse_dimacs_file(args.file)
+    for key, value in extract_features(cnf).to_dict().items():
+        print(f"{key:28s} {value}")
+    return 0
+
+
+def _add_preprocess(subparsers) -> None:
+    p = subparsers.add_parser("preprocess", help="simplify a formula")
+    p.add_argument("file")
+    p.add_argument("--out", required=True)
+    p.add_argument("--rounds", type=int, default=3)
+    p.set_defaults(func=cmd_preprocess)
+
+
+def cmd_preprocess(args) -> int:
+    """Handle ``repro preprocess``: simplify and write the residual CNF."""
+    from repro.simplify import Preprocessor
+
+    cnf = parse_dimacs_file(args.file)
+    result = Preprocessor(max_rounds=args.rounds).preprocess(cnf)
+    if result.status is Status.UNSATISFIABLE:
+        print("s UNSATISFIABLE (decided during preprocessing)")
+        return 20
+    write_dimacs_file(result.cnf, args.out)
+    stats = result.stats
+    print(
+        f"wrote {args.out}: {cnf.num_clauses} -> {result.cnf.num_clauses} clauses "
+        f"(fixed={stats.fixed_variables} eliminated={stats.eliminated_variables} "
+        f"subsumed={stats.subsumed_clauses} strengthened={stats.strengthened_literals} "
+        f"probed={stats.failed_literals})"
+    )
+    return 0
+
+
+def _add_label(subparsers) -> None:
+    p = subparsers.add_parser(
+        "label", help="compare both deletion policies on a formula (Sec. 5.1)"
+    )
+    p.add_argument("file")
+    p.add_argument("--max-conflicts", type=int, default=20_000)
+    p.set_defaults(func=cmd_label)
+
+
+def cmd_label(args) -> int:
+    """Handle ``repro label``: run both policies, print the Sec. 5.1 label."""
+    from repro.selection import compare_policies
+
+    cnf = parse_dimacs_file(args.file)
+    comparison = compare_policies(cnf, max_conflicts=args.max_conflicts)
+    print(f"default:   {comparison.default_result_status.value} "
+          f"({comparison.default_propagations} propagations)")
+    print(f"frequency: {comparison.frequency_result_status.value} "
+          f"({comparison.frequency_propagations} propagations)")
+    print(f"reduction: {100 * comparison.reduction:+.2f}%")
+    print(f"label:     {comparison.label} "
+          f"({'frequency' if comparison.label else 'default'} policy preferred)")
+    return 0
+
+
+def _add_dataset(subparsers) -> None:
+    p = subparsers.add_parser(
+        "dataset", help="build and save a labelled dataset (Sec. 5.1)"
+    )
+    p.add_argument("--out", required=True, help="dataset file (.json)")
+    p.add_argument("--per-year", type=int, default=6)
+    p.add_argument("--label-budget", type=int, default=8000)
+    p.set_defaults(func=cmd_dataset)
+
+
+def cmd_dataset(args) -> int:
+    """Handle ``repro dataset``: build + save a labelled dataset."""
+    from repro.selection import build_dataset, save_dataset
+
+    dataset = build_dataset(
+        instances_per_year=args.per_year, max_conflicts=args.label_budget
+    )
+    save_dataset(dataset, args.out)
+    balance = dataset.label_balance()
+    print(
+        f"wrote {args.out}: {len(dataset.train)} train / {len(dataset.test)} test "
+        f"instances ({100 * balance['train']:.1f}% / {100 * balance['test']:.1f}% "
+        f"positive)"
+    )
+    return 0
+
+
+def _add_train(subparsers) -> None:
+    p = subparsers.add_parser("train", help="train NeuroSelect on synthetic data")
+    p.add_argument("--out", required=True, help="weights file (.npz)")
+    p.add_argument("--dataset", help="reuse a dataset saved by `dataset`")
+    p.add_argument("--per-year", type=int, default=6)
+    p.add_argument("--epochs", type=int, default=40)
+    p.add_argument("--hidden-dim", type=int, default=32)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--label-budget", type=int, default=8000)
+    p.add_argument("--calibrate", default="balanced",
+                   choices=["balanced", "f1", "effort"],
+                   help="decision-threshold calibration mode")
+    p.add_argument("--augment", type=int, default=0,
+                   help="symmetry-augmentation copies of the training split")
+    p.set_defaults(func=cmd_train)
+
+
+def cmd_train(args) -> int:
+    """Handle ``repro train``: fit NeuroSelect and save calibrated weights."""
+    from repro.models import NeuroSelect
+    from repro.nn import save_module
+    from repro.selection import Trainer, build_dataset, load_dataset
+
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+    else:
+        dataset = build_dataset(
+            instances_per_year=args.per_year, max_conflicts=args.label_budget
+        )
+    train_split = dataset.train
+    if args.augment:
+        from repro.selection import augment_dataset
+
+        train_split = augment_dataset(train_split, copies=args.augment)
+    model = NeuroSelect(hidden_dim=args.hidden_dim, seed=0)
+    trainer = Trainer(model, learning_rate=args.lr, epochs=args.epochs)
+    trainer.fit(train_split)
+    trainer.calibrate_threshold(train_split, mode=args.calibrate)
+    metrics = trainer.evaluate(dataset.test)
+    save_module(model, args.out)
+    print(f"saved weights to {args.out} (threshold {trainer.threshold:.3f})")
+    for key, value in metrics.as_row().items():
+        print(f"{key:10s} {value:6.2f}%")
+    return 0
+
+
+def _add_trim(subparsers) -> None:
+    p = subparsers.add_parser(
+        "trim", help="solve an UNSAT formula and write a trimmed DRAT proof"
+    )
+    p.add_argument("file")
+    p.add_argument("--out", required=True, help="trimmed proof path")
+    p.add_argument("--max-conflicts", type=int)
+    p.set_defaults(func=cmd_trim)
+
+
+def cmd_trim(args) -> int:
+    """Handle ``repro trim``: emit a conflict-cone-trimmed DRAT proof."""
+    from pathlib import Path
+
+    from repro.solver import check_drat
+    from repro.solver.drat import trim_proof
+
+    cnf = parse_dimacs_file(args.file)
+    proof = ProofLog()
+    result = Solver(cnf, proof=proof).solve(max_conflicts=args.max_conflicts)
+    if result.status is not Status.UNSATISFIABLE:
+        print(f"s {result.status.value} (no proof to trim)")
+        return 0
+    original = proof.text()
+    trimmed = trim_proof(cnf, original)
+    assert check_drat(cnf, trimmed)
+    Path(args.out).write_text(trimmed)
+    n_before = sum(1 for l in original.splitlines() if l and not l.startswith("d"))
+    n_after = len(trimmed.splitlines())
+    print(f"s UNSATISFIABLE")
+    print(f"wrote {args.out}: {n_before} -> {n_after} proof additions (checked)")
+    return 20
+
+
+def _add_report(subparsers) -> None:
+    p = subparsers.add_parser(
+        "report", help="rebuild EXPERIMENTS.md from benchmarks/results/"
+    )
+    p.set_defaults(func=cmd_report)
+
+
+def cmd_report(args) -> int:
+    """Handle ``repro report``: regenerate EXPERIMENTS.md."""
+    from repro.bench.reporting import build_experiments_md
+
+    build_experiments_md()
+    print("EXPERIMENTS.md rebuilt from benchmarks/results/")
+    return 0
+
+
+def _add_select(subparsers) -> None:
+    p = subparsers.add_parser(
+        "select", help="pick a deletion policy with a trained model, then solve"
+    )
+    p.add_argument("file")
+    p.add_argument("--weights", required=True)
+    p.add_argument("--hidden-dim", type=int, default=32)
+    p.add_argument("--max-conflicts", type=int)
+    p.add_argument("--max-propagations", type=int)
+    p.set_defaults(func=cmd_select)
+
+
+def cmd_select(args) -> int:
+    """Handle ``repro select``: model-guided policy choice, then solve."""
+    from repro.models import NeuroSelect
+    from repro.nn import load_module
+    from repro.selection import NeuroSelectSolver
+
+    cnf = parse_dimacs_file(args.file)
+    model = NeuroSelect(hidden_dim=args.hidden_dim, seed=0)
+    load_module(model, args.weights)
+    outcome = NeuroSelectSolver(model).solve(
+        cnf,
+        max_conflicts=args.max_conflicts,
+        max_propagations=args.max_propagations,
+    )
+    print(f"policy:    {outcome.policy_name} (label {outcome.predicted_label}, "
+          f"inference {outcome.inference_seconds * 1000:.1f} ms)")
+    print(f"s {outcome.result.status.value}")
+    stats = outcome.result.stats
+    print(f"c conflicts {stats.conflicts}")
+    print(f"c propagations {stats.propagations}")
+    return {Status.SATISFIABLE: 10, Status.UNSATISFIABLE: 20}.get(
+        outcome.result.status, 0
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeuroSelect reproduction: CDCL solving with learned "
+        "clause-deletion policy selection",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_solve(subparsers)
+    _add_generate(subparsers)
+    _add_features(subparsers)
+    _add_preprocess(subparsers)
+    _add_label(subparsers)
+    _add_dataset(subparsers)
+    _add_train(subparsers)
+    _add_select(subparsers)
+    _add_trim(subparsers)
+    _add_report(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, the
+        # standard CLI convention.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.close(2)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""DIMACS CNF reader and writer.
+
+Implements the standard ``p cnf <vars> <clauses>`` format used by SAT
+competitions and every mainstream solver, including multi-line clauses,
+comment lines, and lenient handling of a missing or inconsistent header.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Union
+
+from repro.cnf.formula import CNF
+
+
+class DimacsError(ValueError):
+    """Raised when a DIMACS document is malformed."""
+
+
+def parse_dimacs(text: str, strict: bool = False) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    A clause is any run of non-zero integers terminated by ``0``; clauses
+    may span multiple lines.  When ``strict`` is true, the header must be
+    present and the declared clause count must match the parsed count.
+    """
+    comments: List[str] = []
+    header_vars = 0
+    header_clauses = -1
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    saw_header = False
+
+    for line_no, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            comments.append(line[1:].lstrip())
+            continue
+        if line.startswith("p"):
+            if saw_header:
+                raise DimacsError(f"line {line_no}: duplicate header")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_no}: malformed header {line!r}")
+            try:
+                header_vars = int(parts[2])
+                header_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: non-integer header field") from exc
+            if header_vars < 0 or header_clauses < 0:
+                raise DimacsError(f"line {line_no}: negative header field")
+            saw_header = True
+            continue
+        if line.startswith("%"):
+            # Some competition files end with "%\n0"; stop parsing there.
+            break
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: bad token {token!r}") from exc
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+
+    if current:
+        if strict:
+            raise DimacsError("final clause not terminated by 0")
+        clauses.append(current)
+
+    if strict:
+        if not saw_header:
+            raise DimacsError("missing 'p cnf' header")
+        if header_clauses != len(clauses):
+            raise DimacsError(
+                f"header declares {header_clauses} clauses, parsed {len(clauses)}"
+            )
+
+    return CNF(clauses, num_vars=header_vars, comments=comments)
+
+
+def parse_dimacs_file(path: Union[str, Path], strict: bool = False) -> CNF:
+    """Read and parse a DIMACS file from disk."""
+    return parse_dimacs(Path(path).read_text(), strict=strict)
+
+
+def to_dimacs(cnf: CNF, include_comments: bool = True) -> str:
+    """Serialize a :class:`CNF` to DIMACS text."""
+    lines: List[str] = []
+    if include_comments:
+        lines.extend(f"c {comment}" for comment in cnf.comments)
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause.literals) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_file(cnf: CNF, path: Union[str, Path]) -> None:
+    """Write a :class:`CNF` to a DIMACS file."""
+    Path(path).write_text(to_dimacs(cnf))

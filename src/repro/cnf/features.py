@@ -1,0 +1,102 @@
+"""Static feature extraction for CNF formulas.
+
+These cheap structural features are used for dataset statistics (Table 1
+analogue), for sanity checks on generated instances, and as an optional
+auxiliary input to classification models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, List
+
+from repro.cnf.formula import CNF
+
+
+@dataclass(frozen=True)
+class FormulaFeatures:
+    """Summary statistics of a CNF formula."""
+
+    num_vars: int
+    num_clauses: int
+    num_literals: int
+    clause_var_ratio: float
+    mean_clause_size: float
+    max_clause_size: int
+    min_clause_size: int
+    binary_fraction: float
+    ternary_fraction: float
+    horn_fraction: float
+    positive_literal_fraction: float
+    mean_var_occurrence: float
+    max_var_occurrence: int
+    var_occurrence_gini: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    def as_vector(self) -> List[float]:
+        """Features as a fixed-order list of floats (model input)."""
+        return [float(v) for v in asdict(self).values()]
+
+
+def _gini(values: List[int]) -> float:
+    """Gini coefficient of a non-negative sample (0 = uniform, ->1 = skewed)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cum = 0.0
+    weighted = 0.0
+    for i, v in enumerate(ordered, start=1):
+        cum += v
+        weighted += cum
+    # Gini via Lorenz curve area: G = 1 - 2 * B where B = area under curve.
+    return 1.0 - 2.0 * (weighted - total / 2.0) / (n * total)
+
+
+def extract_features(cnf: CNF) -> FormulaFeatures:
+    """Compute :class:`FormulaFeatures` for a formula.
+
+    Degenerate formulas (no clauses / no variables) yield zeroed ratios
+    rather than raising, so feature extraction is total.
+    """
+    num_vars = cnf.num_vars
+    num_clauses = cnf.num_clauses
+    sizes = [len(c) for c in cnf.clauses]
+    num_literals = sum(sizes)
+
+    occurrences = [0] * (num_vars + 1)
+    positive = 0
+    horn = 0
+    for clause in cnf.clauses:
+        pos_in_clause = 0
+        for lit in clause.literals:
+            occurrences[abs(lit)] += 1
+            if lit > 0:
+                positive += 1
+                pos_in_clause += 1
+        if pos_in_clause <= 1:
+            horn += 1
+
+    occ = occurrences[1:]
+    mean_occ = (num_literals / num_vars) if num_vars else 0.0
+    return FormulaFeatures(
+        num_vars=num_vars,
+        num_clauses=num_clauses,
+        num_literals=num_literals,
+        clause_var_ratio=(num_clauses / num_vars) if num_vars else 0.0,
+        mean_clause_size=(num_literals / num_clauses) if num_clauses else 0.0,
+        max_clause_size=max(sizes, default=0),
+        min_clause_size=min(sizes, default=0),
+        binary_fraction=(sizes.count(2) / num_clauses) if num_clauses else 0.0,
+        ternary_fraction=(sizes.count(3) / num_clauses) if num_clauses else 0.0,
+        horn_fraction=(horn / num_clauses) if num_clauses else 0.0,
+        positive_literal_fraction=(positive / num_literals) if num_literals else 0.0,
+        mean_var_occurrence=mean_occ,
+        max_var_occurrence=max(occ, default=0),
+        var_occurrence_gini=_gini(occ),
+    )

@@ -1,0 +1,16 @@
+"""CNF-to-graph encodings for the learning models.
+
+* :class:`BipartiteGraph` — the paper's representation (Sec. 4.2, after
+  NeuroComb): variable nodes and clause nodes, edges weighted +1 for a
+  positive occurrence and -1 for a negated one; variable embeddings
+  initialized to 1, clause embeddings to 0.
+* :class:`LiteralClauseGraph` — the NeuroSAT-style encoding used by the
+  Table 2 baseline: one node per *literal* plus clause nodes, with the
+  complementary-literal pairing NeuroSAT flips across.
+"""
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.lcg import LiteralClauseGraph
+from repro.graph.batching import BatchedBipartiteGraph, batch_graphs
+
+__all__ = ["BipartiteGraph", "LiteralClauseGraph", "BatchedBipartiteGraph", "batch_graphs"]

@@ -1,0 +1,25 @@
+"""Learning models: the NeuroSelect HGT classifier and Table 2 baselines."""
+
+from repro.models.mpnn import DirectedMessagePass, BipartiteMPNNLayer, MPNNStack
+from repro.models.linear_attention import LinearAttention
+from repro.models.hgt import HGTLayer
+from repro.models.readout import mean_readout, max_readout, mean_max_readout, READOUTS
+from repro.models.neuroselect import NeuroSelect, neuroselect_without_attention
+from repro.models.baselines import NeuroSATClassifier, GINClassifier, FeatureLogisticRegression
+
+__all__ = [
+    "DirectedMessagePass",
+    "BipartiteMPNNLayer",
+    "MPNNStack",
+    "LinearAttention",
+    "HGTLayer",
+    "mean_readout",
+    "max_readout",
+    "mean_max_readout",
+    "READOUTS",
+    "NeuroSelect",
+    "neuroselect_without_attention",
+    "NeuroSATClassifier",
+    "GINClassifier",
+    "FeatureLogisticRegression",
+]

@@ -1,0 +1,13 @@
+"""Baseline CNF classifiers for the Table 2 comparison.
+
+* :class:`NeuroSATClassifier` — literal-clause-graph recurrent message
+  passing after Selsam et al. (2018), adapted to policy classification.
+* :class:`GINClassifier` — Graph Isomorphism Network on the
+  variable-clause graph, the strongest G4SATBench configuration.
+"""
+
+from repro.models.baselines.neurosat import NeuroSATClassifier
+from repro.models.baselines.gin import GINClassifier
+from repro.models.baselines.feature_lr import FeatureLogisticRegression, FeatureVector
+
+__all__ = ["NeuroSATClassifier", "GINClassifier", "FeatureLogisticRegression", "FeatureVector"]

@@ -1,0 +1,111 @@
+"""Linear (SGFormer-style) global attention — Eqs. (8)-(9) of the paper.
+
+All-pair attention over the ``N`` variable nodes at O(N·d²) cost instead
+of the quadratic O(N²·d) of softmax attention:
+
+    Q = f_Q(Z),  K = f_K(Z),  V = f_V(Z)
+    Q̃ = Q / ‖Q‖_F,   K̃ = K / ‖K‖_F
+    D = diag(1 + (1/N) · Q̃ (K̃ᵀ 1))
+    LinearAttn(Z) = D⁻¹ [ V + (1/N) · Q̃ (K̃ᵀ V) ]
+
+The trick: ``K̃ᵀ V`` and ``K̃ᵀ 1`` are d×d and d×1 reductions computed
+once, so no N×N matrix ever materializes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class LinearAttention(Module):
+    """The linear global-attention unit applied to variable-node features.
+
+    ``forward`` runs attention over *all* rows as one graph.  For a
+    disjoint batch of graphs, pass ``segments``/``counts``: attention is
+    then computed independently within each segment (graphs must never
+    attend to each other), still without materializing any N x N matrix.
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng(0)
+        self.f_q = Linear(dim, dim, rng=rng)
+        self.f_k = Linear(dim, dim, rng=rng)
+        self.f_v = Linear(dim, dim, rng=rng)
+        self.eps = 1e-12
+
+    def forward(
+        self,
+        z: Tensor,
+        segments: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        if segments is not None:
+            if counts is None:
+                raise ValueError("segmented attention needs per-segment counts")
+            return self._forward_segmented(z, segments, counts)
+        n = float(z.shape[0])
+        q = self.f_q(z)
+        k = self.f_k(z)
+        v = self.f_v(z)
+
+        q_norm = ((q * q).sum() + self.eps).sqrt()
+        k_norm = ((k * k).sum() + self.eps).sqrt()
+        q_tilde = q / q_norm
+        k_tilde = k / k_norm
+
+        # K̃ᵀ 1 — column sums of K̃, shape (d,); K̃ᵀ V — shape (d, d).
+        kt_one = k_tilde.sum(axis=0)
+        kt_v = k_tilde.T @ v
+
+        # D entries: 1 + (1/N) Q̃ (K̃ᵀ 1), shape (N,).
+        d_vec = (q_tilde @ kt_one.reshape(-1, 1)) * (1.0 / n) + 1.0
+
+        numerator = v + (q_tilde @ kt_v) * (1.0 / n)
+        return numerator / d_vec  # row-wise D⁻¹
+
+    def _forward_segmented(
+        self, z: Tensor, segments: np.ndarray, counts: np.ndarray
+    ) -> Tensor:
+        """Eq. (8)-(9) independently per segment, fully vectorized.
+
+        All per-segment reductions (Frobenius norms, K̃ᵀ1, K̃ᵀV) become
+        scatter-sums over the segment index followed by gathers back to
+        the rows, so the cost stays linear in the total node count.
+        """
+        num_segments = len(counts)
+        dim = z.shape[1]
+        n_per_row = Tensor(counts[segments][:, None])  # (N, 1)
+
+        q = self.f_q(z)
+        k = self.f_k(z)
+        v = self.f_v(z)
+
+        # Per-segment Frobenius norms, gathered back per row.
+        q_norm = (
+            ((q * q).scatter_sum(segments, num_segments).sum(axis=1, keepdims=True)
+             + self.eps).sqrt()
+        ).gather_rows(segments)
+        k_norm = (
+            ((k * k).scatter_sum(segments, num_segments).sum(axis=1, keepdims=True)
+             + self.eps).sqrt()
+        ).gather_rows(segments)
+        q_tilde = q / q_norm
+        k_tilde = k / k_norm
+
+        # K̃ᵀ1 per segment -> per row: (N, d).
+        kt_one = k_tilde.scatter_sum(segments, num_segments).gather_rows(segments)
+        d_vec = (q_tilde * kt_one).sum(axis=1, keepdims=True) / n_per_row + 1.0
+
+        # K̃ᵀV per segment: sum of per-row outer products k̃_i v_iᵀ.
+        outer = k_tilde.reshape(-1, dim, 1) * v.reshape(-1, 1, dim)  # (N, d, d)
+        kt_v = outer.scatter_sum(segments, num_segments).gather_rows(segments)
+        # q̃_i · K̃ᵀV[segment(i)] -> (N, d).
+        attended = (q_tilde.reshape(-1, dim, 1) * kt_v).sum(axis=1)
+
+        numerator = v + attended / n_per_row
+        return numerator / d_vec

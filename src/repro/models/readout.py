@@ -1,0 +1,32 @@
+"""Graph readout — Eq. (10) of the paper.
+
+``h_G = READOUT({h_v^L : v in V1})``: the graph embedding aggregates the
+final variable-node embeddings only.  Mean pooling is the default; max
+and mean-plus-max are provided for ablation.
+"""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor
+
+
+def mean_readout(var_features: Tensor) -> Tensor:
+    """Mean over variable nodes; output shape (1, d)."""
+    return var_features.mean(axis=0, keepdims=True)
+
+
+def max_readout(var_features: Tensor) -> Tensor:
+    """Max over variable nodes; output shape (1, d)."""
+    return var_features.max(axis=0, keepdims=True)
+
+
+def mean_max_readout(var_features: Tensor) -> Tensor:
+    """Concatenation-free combination: mean + max (same width)."""
+    return mean_readout(var_features) + max_readout(var_features)
+
+
+READOUTS = {
+    "mean": mean_readout,
+    "max": max_readout,
+    "mean_max": mean_max_readout,
+}

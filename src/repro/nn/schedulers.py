@@ -1,0 +1,113 @@
+"""Learning-rate schedulers.
+
+Small, torch-like schedulers that mutate their optimizer's ``lr`` when
+:meth:`step` is called once per epoch.  Used by the trainer's longer
+runs, where a decaying rate stabilizes the batch-size-1 regime the paper
+trains in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.nn.optim import Optimizer
+
+
+class Scheduler:
+    """Base: tracks epochs and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(Scheduler):
+    """No-op scheduler (keeps the base rate)."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(Scheduler):
+    """Linear warmup to the base rate, then delegate to another scheduler."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, after: Scheduler):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def _lr_at(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        return self.after._lr_at(epoch - self.warmup_epochs)
+
+
+class EarlyStopping:
+    """Patience-based stopping on a monitored value (lower is better)."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = math.inf
+        self.bad_epochs = 0
+        self.history: List[float] = []
+
+    def update(self, value: float) -> bool:
+        """Record a value; returns True when training should stop."""
+        self.history.append(value)
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+        return self.bad_epochs >= self.patience

@@ -1,0 +1,48 @@
+"""Model checkpointing: save/load a Module's state dict as ``.npz``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+#: npz keys with this prefix carry scalar metadata, not parameters.
+_META_PREFIX = "__meta__"
+
+#: Module attributes persisted alongside the parameters when present.
+_META_ATTRIBUTES = ("decision_threshold",)
+
+
+def save_module(module: Module, path: Union[str, Path]) -> None:
+    """Write a module's parameters (plus metadata) to a ``.npz`` file.
+
+    Scalar attributes listed in ``_META_ATTRIBUTES`` — notably the
+    calibrated ``decision_threshold`` a trainer stashes on the model —
+    travel with the weights so a reloaded model keeps its operating
+    point.
+    """
+    state = module.state_dict()
+    for name in _META_ATTRIBUTES:
+        value = getattr(module, name, None)
+        if value is not None:
+            state[f"{_META_PREFIX}{name}"] = np.asarray(float(value))
+    np.savez_compressed(str(path), **state)
+
+
+def load_module(module: Module, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    The module must already have the identical architecture; names and
+    shapes are validated by :meth:`Module.load_state_dict`.  Metadata
+    keys are restored as plain attributes.
+    """
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    for key in list(state):
+        if key.startswith(_META_PREFIX):
+            setattr(module, key[len(_META_PREFIX):], float(state.pop(key)))
+    module.load_state_dict(state)

@@ -1,0 +1,43 @@
+"""Clause-deletion policies (the paper's Section 3).
+
+A deletion policy assigns every reducible learned clause a 64-bit score;
+at each reduction round the lowest-scoring fraction is deleted.  Two
+policies are provided, matching Figure 5 of the paper:
+
+* :class:`DefaultPolicy` — Kissat's stock scoring: negated glue in the
+  high bits, negated size below (lower glue, then smaller size, wins).
+* :class:`FrequencyPolicy` — the paper's new policy: negated glue, then
+  negated size, then the propagation-frequency criterion of Eq. (2) in
+  the low bits.
+
+Policies are looked up by name through :data:`POLICY_REGISTRY` /
+:func:`get_policy` so the selection pipeline can dispatch on a model's
+predicted label.
+"""
+
+from repro.policies.base import DeletionPolicy
+from repro.policies.score import (
+    pack_fields,
+    negated,
+    DEFAULT_LAYOUT,
+    FREQUENCY_LAYOUT,
+    ScoreLayout,
+)
+from repro.policies.default_policy import DefaultPolicy
+from repro.policies.frequency_policy import FrequencyPolicy, clause_frequency
+from repro.policies.registry import POLICY_REGISTRY, get_policy, policy_names
+
+__all__ = [
+    "DeletionPolicy",
+    "DefaultPolicy",
+    "FrequencyPolicy",
+    "clause_frequency",
+    "pack_fields",
+    "negated",
+    "ScoreLayout",
+    "DEFAULT_LAYOUT",
+    "FREQUENCY_LAYOUT",
+    "POLICY_REGISTRY",
+    "get_policy",
+    "policy_names",
+]

@@ -1,0 +1,101 @@
+"""64-bit packed clause scores (Figure 5 of the paper).
+
+Kissat ranks reducible clauses by a single 64-bit integer built from
+bit-fields, compared as one number: the most significant field dominates,
+lower fields break ties.  Fields that should rank *smaller raw values
+higher* (glue, size) are stored element-wise negated (the paper's ``~``),
+clamped to the field width.
+
+Layouts reproduced here::
+
+    Default:  [ ~glue : 32 ][ ~size : 32 ]                      (bits 63..32, 31..0)
+    New:      [ ~glue : 20 ][ ~size : 20 ][ frequency : 24 ]    (bits 63..44, 43..24, 23..0)
+
+Higher score = more valuable = kept longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def negated(value: int, width: int) -> int:
+    """Element-wise negation of ``value`` within a ``width``-bit field.
+
+    Clamps to the field's range first, so glue/size beyond the field width
+    saturate at the worst (lowest) score instead of wrapping around.
+    """
+    if value < 0:
+        raise ValueError("field values must be non-negative")
+    mask = (1 << width) - 1
+    return mask - min(value, mask)
+
+
+def clamp(value: int, width: int) -> int:
+    """Clamp a non-negative value into a ``width``-bit field."""
+    if value < 0:
+        raise ValueError("field values must be non-negative")
+    return min(value, (1 << width) - 1)
+
+
+def pack_fields(fields: Sequence[Tuple[int, int]]) -> int:
+    """Pack ``(value, width)`` pairs MSB-first into one integer.
+
+    Values must already be clamped/negated; the total width must not
+    exceed 64 bits.
+    """
+    total = sum(width for _, width in fields)
+    if total > 64:
+        raise ValueError(f"score layout is {total} bits, max is 64")
+    score = 0
+    for value, width in fields:
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        score = (score << width) | value
+    return score
+
+
+@dataclass(frozen=True)
+class ScoreLayout:
+    """Named bit widths of a packed score, MSB-first."""
+
+    name: str
+    fields: Tuple[Tuple[str, int], ...]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(width for _, width in self.fields)
+
+    def pack(self, **values: int) -> int:
+        """Pack named raw field values (already negated where required)."""
+        missing = [fname for fname, _ in self.fields if fname not in values]
+        if missing:
+            raise ValueError(f"missing fields: {missing}")
+        return pack_fields([(values[fname], width) for fname, width in self.fields])
+
+    def unpack(self, score: int) -> dict:
+        """Inverse of :meth:`pack`, for introspection and tests."""
+        out = {}
+        for fname, width in reversed(self.fields):
+            out[fname] = score & ((1 << width) - 1)
+            score >>= width
+        return out
+
+
+DEFAULT_LAYOUT = ScoreLayout(
+    name="default",
+    fields=(("neg_glue", 32), ("neg_size", 32)),
+)
+
+FREQUENCY_LAYOUT = ScoreLayout(
+    name="frequency",
+    fields=(("neg_glue", 20), ("neg_size", 20), ("frequency", 24)),
+)
+
+# Ablation layout: frequency promoted to the most significant field
+# (studied in benchmarks/bench_ablation_score_layout.py).
+FREQUENCY_FIRST_LAYOUT = ScoreLayout(
+    name="frequency_first",
+    fields=(("frequency", 24), ("neg_glue", 20), ("neg_size", 20)),
+)

@@ -1,0 +1,55 @@
+"""Learning-aided policy selection: labels, datasets, training, inference."""
+
+from repro.selection.labeling import (
+    PolicyComparison,
+    compare_policies,
+    run_policy,
+    REDUCTION_THRESHOLD,
+)
+from repro.selection.dataset import (
+    augment_dataset,
+    LabeledInstance,
+    PolicyDataset,
+    YearStatistics,
+    build_dataset,
+    dataset_statistics,
+    TRAIN_YEARS,
+    TEST_YEAR,
+    DEFAULT_MAX_NODES,
+)
+from repro.selection.metrics import ClassificationMetrics, classification_metrics
+from repro.selection.trainer import Trainer, TrainingHistory
+from repro.selection.selector import NeuroSelectSolver, SelectionOutcome
+from repro.selection.storage import save_dataset, load_dataset
+from repro.selection.validation import (
+    CrossValidationResult,
+    cross_validate,
+    k_fold_splits,
+)
+
+__all__ = [
+    "PolicyComparison",
+    "compare_policies",
+    "run_policy",
+    "REDUCTION_THRESHOLD",
+    "LabeledInstance",
+    "augment_dataset",
+    "PolicyDataset",
+    "YearStatistics",
+    "build_dataset",
+    "dataset_statistics",
+    "TRAIN_YEARS",
+    "TEST_YEAR",
+    "DEFAULT_MAX_NODES",
+    "ClassificationMetrics",
+    "classification_metrics",
+    "Trainer",
+    "TrainingHistory",
+    "NeuroSelectSolver",
+    "SelectionOutcome",
+    "CrossValidationResult",
+    "cross_validate",
+    "k_fold_splits",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,78 @@
+"""Binary-classification metrics for the Table 2 comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """Precision / recall / F1 / accuracy plus the raw confusion counts."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (
+            (self.true_positives + self.true_negatives) / self.total
+            if self.total
+            else 0.0
+        )
+
+    def as_row(self) -> dict:
+        """Percentages in Table 2's column order."""
+        return {
+            "precision": 100.0 * self.precision,
+            "recall": 100.0 * self.recall,
+            "F1": 100.0 * self.f1,
+            "accuracy": 100.0 * self.accuracy,
+        }
+
+
+def classification_metrics(
+    predictions: Sequence[int], labels: Sequence[int]
+) -> ClassificationMetrics:
+    """Compute metrics from aligned prediction/label sequences."""
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels differ in length")
+    tp = fp = tn = fn = 0
+    for pred, label in zip(predictions, labels):
+        if pred not in (0, 1) or label not in (0, 1):
+            raise ValueError("labels and predictions must be 0/1")
+        if pred == 1 and label == 1:
+            tp += 1
+        elif pred == 1 and label == 0:
+            fp += 1
+        elif pred == 0 and label == 0:
+            tn += 1
+        else:
+            fn += 1
+    return ClassificationMetrics(tp, fp, tn, fn)

@@ -1,0 +1,86 @@
+"""NeuroSelect-Kissat: one model inference, then solve (paper Sec. 5.4).
+
+The selector runs a single forward pass of the trained classifier on the
+input CNF (CPU-friendly by design — this is the paper's headline
+efficiency argument over per-clause evaluation), maps the predicted label
+to a deletion policy, and solves with it.  Instances whose graph exceeds
+the node cap skip inference and use the default policy, exactly as the
+paper handles its >400k-node instances.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cnf.formula import CNF
+from repro.graph.bipartite import BipartiteGraph
+from repro.policies.registry import policy_for_label
+from repro.selection.dataset import DEFAULT_MAX_NODES
+from repro.solver.solver import Solver, SolverConfig, SolveResult
+
+
+@dataclass
+class SelectionOutcome:
+    """A solve guided by the selector, with inference accounting."""
+
+    result: SolveResult
+    predicted_label: int
+    policy_name: str
+    inference_seconds: float
+    used_model: bool  # False when the node cap forced the default policy
+
+    @property
+    def propagations(self) -> int:
+        return self.result.stats.propagations
+
+
+class NeuroSelectSolver:
+    """End-to-end adaptive solver: classify once, then run CDCL."""
+
+    def __init__(
+        self,
+        model,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        config: Optional[SolverConfig] = None,
+        threshold: Optional[float] = None,
+    ):
+        self.model = model
+        self.max_nodes = max_nodes
+        self.config = config
+        # Default to the threshold calibrated during training when the
+        # model carries one (set by Trainer.fit), else 0.5.
+        if threshold is None:
+            threshold = getattr(model, "decision_threshold", 0.5)
+        self.threshold = threshold
+
+    def select_policy(self, cnf: CNF):
+        """Model inference only; returns (label, policy, seconds, used_model)."""
+        graph = BipartiteGraph(cnf)
+        if graph.num_nodes > self.max_nodes:
+            return 0, policy_for_label(0), 0.0, False
+        start = time.perf_counter()
+        label = self.model.predict(graph, threshold=self.threshold)
+        elapsed = time.perf_counter() - start
+        return label, policy_for_label(label), elapsed, True
+
+    def solve(
+        self,
+        cnf: CNF,
+        max_conflicts: Optional[int] = None,
+        max_propagations: Optional[int] = None,
+    ) -> SelectionOutcome:
+        """Classify, pick the deletion policy, and solve."""
+        label, policy, inference_seconds, used_model = self.select_policy(cnf)
+        solver = Solver(cnf, policy=policy, config=self.config)
+        result = solver.solve(
+            max_conflicts=max_conflicts, max_propagations=max_propagations
+        )
+        return SelectionOutcome(
+            result=result,
+            predicted_label=label,
+            policy_name=policy.name,
+            inference_seconds=inference_seconds,
+            used_model=used_model,
+        )

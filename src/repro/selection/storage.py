@@ -1,0 +1,79 @@
+"""Dataset persistence: save/load labelled datasets as JSON.
+
+Labelling costs two full solver runs per instance, so being able to
+build a dataset once and reload it across sessions matters.  The format
+is a single human-inspectable JSON document embedding each formula in
+DIMACS text together with its provenance and both policies' measured
+effort.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.cnf.dimacs import parse_dimacs, to_dimacs
+from repro.selection.dataset import LabeledInstance, PolicyDataset
+from repro.selection.labeling import PolicyComparison
+from repro.solver.types import Status
+
+FORMAT_VERSION = 1
+
+
+def _instance_to_dict(instance: LabeledInstance) -> dict:
+    comparison = instance.comparison
+    return {
+        "dimacs": to_dimacs(instance.cnf, include_comments=True),
+        "year": instance.year,
+        "family": instance.family,
+        "comparison": {
+            "default_status": comparison.default_result_status.value,
+            "frequency_status": comparison.frequency_result_status.value,
+            "default_propagations": comparison.default_propagations,
+            "frequency_propagations": comparison.frequency_propagations,
+            "label": comparison.label,
+        },
+    }
+
+
+def _instance_from_dict(payload: dict) -> LabeledInstance:
+    raw = payload["comparison"]
+    comparison = PolicyComparison(
+        default_result_status=Status(raw["default_status"]),
+        frequency_result_status=Status(raw["frequency_status"]),
+        default_propagations=int(raw["default_propagations"]),
+        frequency_propagations=int(raw["frequency_propagations"]),
+        label=int(raw["label"]),
+    )
+    return LabeledInstance(
+        cnf=parse_dimacs(payload["dimacs"]),
+        year=int(payload["year"]),
+        family=str(payload["family"]),
+        comparison=comparison,
+    )
+
+
+def save_dataset(dataset: PolicyDataset, path: Union[str, Path]) -> None:
+    """Write a dataset (both splits) to a JSON file."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "train": [_instance_to_dict(i) for i in dataset.train],
+        "test": [_instance_to_dict(i) for i in dataset.test],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_dataset(path: Union[str, Path]) -> PolicyDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return PolicyDataset(
+        train=[_instance_from_dict(d) for d in document["train"]],
+        test=[_instance_from_dict(d) for d in document["test"]],
+    )

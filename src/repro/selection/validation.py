@@ -1,0 +1,111 @@
+"""Cross-validation utilities for the selection pipeline.
+
+The paper's single train/test split (years 2016-2021 vs 2022) is the
+headline protocol; k-fold cross-validation over the training years gives
+variance estimates for model comparisons at reproduction scale, where
+test sets are small.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.selection.dataset import LabeledInstance
+from repro.selection.metrics import ClassificationMetrics
+from repro.selection.trainer import Trainer
+
+
+def k_fold_splits(
+    instances: Sequence[LabeledInstance],
+    k: int = 5,
+    seed: int = 0,
+    stratify: bool = True,
+) -> List[Tuple[List[LabeledInstance], List[LabeledInstance]]]:
+    """Partition into ``k`` (train, validation) splits.
+
+    With ``stratify``, folds are drawn per label so each keeps roughly
+    the global class balance — important with our skewed labels.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if len(instances) < k:
+        raise ValueError(f"need at least k={k} instances, got {len(instances)}")
+    rng = random.Random(seed)
+
+    folds: List[List[LabeledInstance]] = [[] for _ in range(k)]
+    if stratify:
+        by_label: dict = {}
+        for inst in instances:
+            by_label.setdefault(inst.label, []).append(inst)
+        slot = 0
+        for label_group in by_label.values():
+            rng.shuffle(label_group)
+            for inst in label_group:
+                folds[slot % k].append(inst)
+                slot += 1
+    else:
+        shuffled = list(instances)
+        rng.shuffle(shuffled)
+        for i, inst in enumerate(shuffled):
+            folds[i % k].append(inst)
+
+    splits = []
+    for i in range(k):
+        validation = folds[i]
+        train = [inst for j, fold in enumerate(folds) if j != i for inst in fold]
+        splits.append((train, validation))
+    return splits
+
+
+@dataclass
+class CrossValidationResult:
+    """Per-fold metrics plus aggregates."""
+
+    fold_metrics: List[ClassificationMetrics] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [m.accuracy for m in self.fold_metrics]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return statistics.fmean(self.accuracies) if self.fold_metrics else 0.0
+
+    @property
+    def std_accuracy(self) -> float:
+        if len(self.fold_metrics) < 2:
+            return 0.0
+        return statistics.stdev(self.accuracies)
+
+    @property
+    def mean_f1(self) -> float:
+        return (
+            statistics.fmean(m.f1 for m in self.fold_metrics)
+            if self.fold_metrics
+            else 0.0
+        )
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    instances: Sequence[LabeledInstance],
+    k: int = 5,
+    seed: int = 0,
+    learning_rate: float = 3e-3,
+    epochs: int = 20,
+) -> CrossValidationResult:
+    """k-fold cross-validation of a classifier factory.
+
+    A fresh model is built per fold (``model_factory``), trained on the
+    fold's training part, and evaluated on its validation part.
+    """
+    result = CrossValidationResult()
+    for train, validation in k_fold_splits(instances, k=k, seed=seed):
+        model = model_factory()
+        trainer = Trainer(model, learning_rate=learning_rate, epochs=epochs)
+        trainer.fit(train)
+        result.fold_metrics.append(trainer.evaluate(validation))
+    return result

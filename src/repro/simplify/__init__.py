@@ -1,0 +1,59 @@
+"""CNF preprocessing (the simplification stack of modern CDCL solvers).
+
+Kissat and its relatives spend significant effort simplifying the
+formula before and during search.  This package reproduces the classic
+preprocessing techniques as composable passes:
+
+* **unit propagation closure** — propagate all unit clauses to a fixpoint;
+* **subsumption** — drop clauses that are supersets of other clauses;
+* **self-subsuming resolution (strengthening)** — remove a literal from
+  a clause when resolving with an almost-subsuming clause allows it;
+* **bounded variable elimination** (NiVER/SatELite) — resolve a variable
+  away when doing so does not grow the formula, with full model
+  reconstruction for eliminated variables;
+* **failed-literal probing** — assume a literal, propagate, and learn
+  the negation as a unit when it fails.
+
+The :class:`Preprocessor` orchestrates the passes to a fixpoint and
+returns an equisatisfiable :class:`~repro.cnf.formula.CNF` together with
+a :class:`ModelReconstructor` that extends any model of the simplified
+formula back to the original variables.
+"""
+
+from repro.simplify.passes import (
+    propagate_units,
+    subsume,
+    strengthen,
+    probe_failed_literals,
+)
+from repro.simplify.elimination import eliminate_variables, ModelReconstructor
+from repro.simplify.vivify import vivify
+from repro.simplify.equivalence import substitute_equivalences
+from repro.simplify.blocked import eliminate_blocked_clauses
+from repro.simplify.xor_gauss import (
+    XorConstraint,
+    GF2System,
+    recover_xors,
+    gaussian_eliminate,
+)
+from repro.simplify.pipeline import Preprocessor, PreprocessResult, PreprocessStats, solve_with_preprocessing
+
+__all__ = [
+    "propagate_units",
+    "subsume",
+    "strengthen",
+    "probe_failed_literals",
+    "eliminate_variables",
+    "vivify",
+    "substitute_equivalences",
+    "XorConstraint",
+    "GF2System",
+    "recover_xors",
+    "gaussian_eliminate",
+    "eliminate_blocked_clauses",
+    "ModelReconstructor",
+    "Preprocessor",
+    "PreprocessResult",
+    "PreprocessStats",
+    "solve_with_preprocessing",
+]

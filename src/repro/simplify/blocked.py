@@ -1,0 +1,73 @@
+"""Blocked clause elimination (BCE).
+
+A clause ``C`` is *blocked* on a literal ``l ∈ C`` when every resolvent
+of ``C`` with a clause containing ``¬l`` is a tautology.  Removing a
+blocked clause preserves satisfiability (Kullmann): any model of the
+remaining formula that falsifies ``C`` can be repaired by flipping
+``l``'s variable — the tautology condition guarantees no ``¬l`` clause
+breaks.  BCE removes surprising amounts of encoding overhead (it
+subsumes pure-literal elimination: a pure literal blocks trivially).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.simplify.elimination import ModelReconstructor
+
+Clause = FrozenSet[int]
+
+
+def _blocks(clause: Clause, literal: int, others: List[Clause]) -> bool:
+    """True when every resolvent of ``clause`` on ``literal`` is tautological."""
+    rest = clause - {literal}
+    for other in others:
+        # Resolvent: rest ∪ (other \ {-literal}); tautological iff some
+        # variable occurs in both polarities.
+        tautology = any(-lit in rest for lit in other if lit != -literal)
+        if not tautology:
+            return False
+    return True
+
+
+def eliminate_blocked_clauses(
+    clauses: List[Clause],
+    reconstructor: ModelReconstructor,
+    max_occurrences: int = 50,
+) -> Tuple[List[Clause], int]:
+    """One BCE sweep to fixpoint; returns (remaining clauses, removed count).
+
+    Removing one blocked clause can unblock others, so the sweep repeats
+    until nothing changes.  Literals whose complement occurs more than
+    ``max_occurrences`` times are skipped (quadratic check not worth it).
+    """
+    current: List[Clause] = list(dict.fromkeys(clauses))  # dedupe, keep order
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        occurrences: Dict[int, List[Clause]] = {}
+        for clause in current:
+            for lit in clause:
+                occurrences.setdefault(lit, []).append(clause)
+        kept: List[Clause] = []
+        removed_now: Set[Clause] = set()
+        for clause in current:
+            blocked_on = None
+            for literal in clause:
+                complements = occurrences.get(-literal, [])
+                if len(complements) > max_occurrences:
+                    continue
+                active = [c for c in complements if c not in removed_now]
+                if _blocks(clause, literal, active):
+                    blocked_on = literal
+                    break
+            if blocked_on is None:
+                kept.append(clause)
+            else:
+                reconstructor.push_blocked(blocked_on, clause)
+                removed_now.add(clause)
+                removed += 1
+                changed = True
+        current = kept
+    return current, removed

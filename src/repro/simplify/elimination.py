@@ -1,0 +1,191 @@
+"""Bounded variable elimination (NiVER / SatELite style).
+
+A variable ``v`` is *eliminated* by replacing the clauses containing it
+with all non-tautological resolvents between its positive and negative
+occurrence lists.  Elimination is *bounded*: it is only applied when the
+resolvent set is no larger than the replaced set (plus ``growth``), so
+the formula never blows up.
+
+Eliminated variables disappear from the formula; a model of the reduced
+formula is extended back via :class:`ModelReconstructor`, which replays
+the eliminations in reverse and picks each eliminated variable's value
+to satisfy its saved occurrence clauses (always possible — that is
+exactly the soundness argument of variable elimination).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+Clause = FrozenSet[int]
+
+
+class ModelReconstructor:
+    """Replays simplification steps in reverse to complete a model.
+
+    Two kinds of entries share one stack (order matters — later passes
+    see the earlier passes' output formula):
+
+    * **elimination** — variable resolved away by BVE, restored by
+      picking the value satisfying its saved occurrence clauses;
+    * **equivalence** — variable substituted by a representative
+      literal (SCC of the binary implication graph), restored by
+      copying the representative's value with the recorded sign.
+    """
+
+    def __init__(self) -> None:
+        # ("elim", var, saved_clauses) or ("equiv", var, representative_lit).
+        self._stack: List[Tuple[str, int, object]] = []
+
+    def push(self, var: int, saved_clauses: List[Clause]) -> None:
+        """Record a variable elimination."""
+        self._stack.append(("elim", var, saved_clauses))
+
+    def push_equivalence(self, var: int, representative: int) -> None:
+        """Record ``var == representative`` (a signed DIMACS literal)."""
+        if abs(representative) == var:
+            raise ValueError("a variable cannot represent itself")
+        self._stack.append(("equiv", var, representative))
+
+    def push_fixed(self, var: int, value: bool) -> None:
+        """Record a unit fixing (variable forced at this simplification stage).
+
+        Putting fixings on the same stack as eliminations keeps replay
+        *witness-ordered*: an entry recorded at an earlier stage replays
+        later and may legitimately override a value fixed afterwards
+        (e.g. a blocked-clause repair flipping a variable that a later
+        round's probing had pinned).
+        """
+        self._stack.append(("fixed", var, value))
+
+    def push_blocked(self, blocking_literal: int, clause: Clause) -> None:
+        """Record removal of a blocked clause on ``blocking_literal``.
+
+        Reconstruction: if the clause ends up unsatisfied, flip the
+        blocking literal's variable to satisfy it — sound because every
+        resolvent of the clause on that literal is a tautology, so the
+        flip cannot falsify any kept clause containing the complement.
+        """
+        if blocking_literal not in clause:
+            raise ValueError("blocking literal must occur in the clause")
+        self._stack.append(("blocked", blocking_literal, clause))
+
+    @property
+    def eliminated_variables(self) -> List[int]:
+        return [var for kind, var, _ in self._stack if kind == "elim"]
+
+    @property
+    def substituted_variables(self) -> List[int]:
+        return [var for kind, var, _ in self._stack if kind == "equiv"]
+
+    def extend(self, model: List[Optional[bool]]) -> List[Optional[bool]]:
+        """Fill in eliminated/substituted variables.
+
+        ``model`` is indexed by variable (index 0 unused); entries for
+        recorded variables may be anything — they are overwritten.
+        Returns the same list for convenience.
+
+        Replay soundness requires a *total* assignment of the residual
+        formula, so unconstrained ``None`` entries are defaulted to True
+        up front (any value satisfies the residual; the replay then
+        repairs whatever the recorded steps need).
+        """
+        for i in range(1, len(model)):
+            if model[i] is None:
+                model[i] = True
+        for kind, var, payload in reversed(self._stack):
+            if kind == "fixed":
+                model[var] = payload
+                continue
+            if kind == "equiv":
+                representative = payload
+                value = model[abs(representative)]
+                if value is None:
+                    value = True  # representative unconstrained
+                    model[abs(representative)] = value
+                model[var] = value if representative > 0 else not value
+                continue
+            if kind == "blocked":
+                blocking_literal, clause = var, payload
+                satisfied = any(
+                    model[abs(lit)] == (lit > 0) for lit in clause
+                )
+                if not satisfied:
+                    model[abs(blocking_literal)] = blocking_literal > 0
+                continue
+            saved = payload
+            # Default polarity false; flip to true iff some clause
+            # containing the positive literal is otherwise unsatisfied.
+            value = False
+            for clause in saved:
+                if var not in clause:
+                    continue
+                others_satisfy = any(
+                    lit != var and model[abs(lit)] == (lit > 0) for lit in clause
+                )
+                if not others_satisfy:
+                    value = True
+                    break
+            model[var] = value
+            # Soundness check: the chosen value satisfies every saved clause.
+            for clause in saved:
+                assert any(model[abs(lit)] == (lit > 0) for lit in clause), (
+                    f"reconstruction failed for eliminated variable {var}"
+                )
+        return model
+
+
+def _resolvents(
+    positive: Sequence[Clause], negative: Sequence[Clause], var: int
+) -> Optional[List[Clause]]:
+    """All non-tautological resolvents on ``var``; None when one is empty."""
+    out: List[Clause] = []
+    for p in positive:
+        p_rest = p - {var}
+        for n in negative:
+            resolvent = p_rest | (n - {-var})
+            if not resolvent:
+                return None  # empty resolvent: formula is UNSAT
+            if any(-lit in resolvent for lit in resolvent):
+                continue  # tautology
+            out.append(resolvent)
+    return out
+
+
+def eliminate_variables(
+    clauses: List[Clause],
+    num_vars: int,
+    reconstructor: ModelReconstructor,
+    growth: int = 0,
+    max_occurrences: int = 10,
+) -> Tuple[List[Clause], List[int], bool]:
+    """One elimination sweep over all candidate variables.
+
+    Returns ``(new_clauses, eliminated_vars, proven_unsat)``.  Variables
+    with more than ``max_occurrences`` occurrences in either polarity are
+    skipped (classic SatELite heuristic — dense variables rarely pay off
+    and resolving them is quadratic).
+    """
+    current = set(clauses)
+    eliminated: List[int] = []
+
+    for var in range(1, num_vars + 1):
+        positive = [c for c in current if var in c]
+        negative = [c for c in current if -var in c]
+        if not positive and not negative:
+            continue
+        if len(positive) > max_occurrences or len(negative) > max_occurrences:
+            continue
+        resolvents = _resolvents(positive, negative, var)
+        if resolvents is None:
+            return sorted(current, key=sorted), eliminated, True
+        if len(resolvents) > len(positive) + len(negative) + growth:
+            continue  # would grow the formula: skip
+        for clause in positive + negative:
+            current.discard(clause)
+        for clause in resolvents:
+            current.add(clause)
+        reconstructor.push(var, positive + negative)
+        eliminated.append(var)
+
+    return sorted(current, key=sorted), eliminated, False

@@ -1,0 +1,133 @@
+"""Equivalent-literal substitution via binary-implication-graph SCCs.
+
+Every binary clause ``(a ∨ b)`` encodes two implications ``¬a → b`` and
+``¬b → a``.  Literals in the same strongly connected component of this
+implication graph are all logically equivalent; if a literal shares a
+component with its own negation the formula is unsatisfiable (the 2-SAT
+criterion).  Substituting every SCC by one representative literal shrinks
+the formula and often cascades with the other passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.simplify.elimination import ModelReconstructor
+
+Clause = FrozenSet[int]
+
+
+def _binary_implication_graph(clauses: List[Clause]) -> Dict[int, List[int]]:
+    graph: Dict[int, List[int]] = {}
+    for clause in clauses:
+        if len(clause) != 2:
+            continue
+        a, b = tuple(clause)
+        graph.setdefault(-a, []).append(b)
+        graph.setdefault(-b, []).append(a)
+    return graph
+
+
+def _tarjan_sccs(graph: Dict[int, List[int]]) -> List[List[int]]:
+    """Iterative Tarjan over literal nodes; returns SCCs in found order."""
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [0]
+
+    for root in list(graph):
+        if root in index_of:
+            continue
+        # Explicit DFS stack: (node, iterator over successors).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            successors = graph.get(node, ())
+            advanced = False
+            while child_index < len(successors):
+                successor = successors[child_index]
+                child_index += 1
+                if successor not in index_of:
+                    work[-1] = (node, child_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    low[node] = min(low[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def substitute_equivalences(
+    clauses: List[Clause],
+    reconstructor: ModelReconstructor,
+) -> Tuple[List[Clause], List[int], bool]:
+    """One equivalence-substitution sweep.
+
+    Returns ``(new_clauses, substituted_vars, proven_unsat)``.  The
+    representative of each SCC is the literal whose variable index is
+    smallest (positive polarity preferred), so substitution is
+    deterministic.
+    """
+    graph = _binary_implication_graph(clauses)
+    if not graph:
+        return clauses, [], False
+    sccs = _tarjan_sccs(graph)
+
+    substitution: Dict[int, int] = {}  # literal -> representative literal
+    substituted_vars: List[int] = []
+    for scc in sccs:
+        if len(scc) < 2:
+            continue
+        members = set(scc)
+        if any(-lit in members for lit in scc):
+            return clauses, substituted_vars, True  # 2-SAT contradiction
+        representative = min(scc, key=lambda lit: (abs(lit), lit < 0))
+        for lit in scc:
+            if lit == representative:
+                continue
+            if abs(lit) == abs(representative):
+                continue  # cannot happen past the contradiction check
+            substitution[lit] = representative
+            substitution[-lit] = -representative
+            if abs(lit) not in substituted_vars:
+                substituted_vars.append(abs(lit))
+                # var == representative when the positive literal maps
+                # positively; record with the correct sign.
+                mapped = substitution[abs(lit)]
+                reconstructor.push_equivalence(abs(lit), mapped)
+
+    if not substitution:
+        return clauses, [], False
+
+    new_clauses: List[Clause] = []
+    seen = set()
+    for clause in clauses:
+        mapped = frozenset(substitution.get(lit, lit) for lit in clause)
+        if any(-lit in mapped for lit in mapped):
+            continue  # became a tautology
+        if mapped not in seen:
+            seen.add(mapped)
+            new_clauses.append(mapped)
+    return new_clauses, substituted_vars, False

@@ -1,0 +1,177 @@
+"""Clause-level simplification passes.
+
+All passes operate on a list of frozensets of DIMACS literals (the
+pipeline normalizes clauses first: no tautologies, no duplicates).  They
+are pure functions returning new clause lists plus what changed, so the
+pipeline can compose them and iterate to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+Clause = FrozenSet[int]
+
+
+class SimplifyConflict(Exception):
+    """Raised when simplification proves the formula unsatisfiable."""
+
+
+def propagate_units(
+    clauses: List[Clause],
+) -> Tuple[List[Clause], Dict[int, bool]]:
+    """Unit-propagation closure.
+
+    Returns the simplified clauses and the forced assignments
+    ``{var: value}``.  Raises :class:`SimplifyConflict` when propagation
+    derives the empty clause (including contradictory units).
+    """
+    assignment: Dict[int, bool] = {}
+    current = list(clauses)
+    changed = True
+    while changed:
+        changed = False
+        next_clauses: List[Clause] = []
+        for clause in current:
+            satisfied = False
+            remaining: List[int] = []
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(lit)
+            if satisfied:
+                changed = changed or len(remaining) != len(clause)
+                continue
+            if not remaining:
+                raise SimplifyConflict("unit propagation derived the empty clause")
+            if len(remaining) == 1:
+                lit = remaining[0]
+                assignment[abs(lit)] = lit > 0
+                changed = True
+            else:
+                reduced = frozenset(remaining)
+                if len(reduced) != len(clause):
+                    changed = True
+                next_clauses.append(reduced)
+        current = next_clauses
+    return current, assignment
+
+
+def subsume(clauses: List[Clause]) -> Tuple[List[Clause], int]:
+    """Forward subsumption: drop clauses that contain another clause.
+
+    Also removes exact duplicates.  Uses occurrence lists keyed on each
+    clause's least-frequent literal so the common case is near-linear.
+    """
+    unique: List[Clause] = sorted(set(clauses), key=len)
+    occurrences: Dict[int, List[int]] = {}
+    for index, clause in enumerate(unique):
+        for lit in clause:
+            occurrences.setdefault(lit, []).append(index)
+
+    removed: Set[int] = set()
+    for index, clause in enumerate(unique):
+        if index in removed:
+            continue
+        # Candidates must share the rarest literal of this clause.
+        rare = min(clause, key=lambda lit: len(occurrences.get(lit, ())))
+        for other_index in occurrences.get(rare, ()):  # includes index itself
+            if other_index == index or other_index in removed:
+                continue
+            other = unique[other_index]
+            if len(other) >= len(clause) and clause <= other:
+                removed.add(other_index)
+
+    kept = [c for i, c in enumerate(unique) if i not in removed]
+    return kept, len(clauses) - len(kept)
+
+
+def strengthen(clauses: List[Clause]) -> Tuple[List[Clause], int]:
+    """Self-subsuming resolution.
+
+    If ``D = X ∪ {l}`` and some clause ``C ⊇ X ∪ {¬l}`` exists, then the
+    resolvent of C and D on ``l`` subsumes C, so ``¬l`` can be removed
+    from C ("C is strengthened by D").  One sweep; the pipeline iterates
+    to a fixpoint.
+    """
+    current = list(clauses)
+    occurrences: Dict[int, Set[int]] = {}
+    for index, clause in enumerate(current):
+        for lit in clause:
+            occurrences.setdefault(lit, set()).add(index)
+
+    strengthened = 0
+    for index, clause in enumerate(current):
+        for lit in list(clause):
+            rest = clause - {lit}
+            # Clauses containing ¬lit and all of `rest` can drop ¬lit.
+            candidates: Optional[Set[int]] = occurrences.get(-lit)
+            if not candidates:
+                continue
+            for other_lit in rest:
+                holders = occurrences.get(other_lit)
+                if holders is None:
+                    candidates = set()
+                    break
+                candidates = candidates & holders
+                if not candidates:
+                    break
+            if not candidates:
+                continue
+            for target_index in list(candidates):
+                if target_index == index:
+                    continue
+                target = current[target_index]
+                if -lit not in target:
+                    continue  # stale occurrence entry
+                new_clause = target - {-lit}
+                # Update occurrence lists incrementally.
+                occurrences[-lit].discard(target_index)
+                current[target_index] = new_clause
+                strengthened += 1
+    return current, strengthened
+
+
+def probe_failed_literals(
+    clauses: List[Clause],
+    max_probes: int = 256,
+) -> Tuple[List[int], bool]:
+    """Failed-literal probing.
+
+    For up to ``max_probes`` candidate literals (those appearing in
+    binary clauses — the ones that actually trigger propagation chains),
+    assume the literal, propagate, and report its negation as a forced
+    unit when propagation conflicts.  Returns ``(forced_units,
+    proven_unsat)`` where ``proven_unsat`` is True when both polarities
+    of some variable fail.
+    """
+    binary_lits: List[int] = []
+    seen: Set[int] = set()
+    for clause in clauses:
+        if len(clause) == 2:
+            for lit in clause:
+                if lit not in seen:
+                    seen.add(lit)
+                    binary_lits.append(lit)
+    binary_lits = binary_lits[:max_probes]
+
+    forced: List[int] = []
+    forced_set: Set[int] = set()
+    for lit in binary_lits:
+        if -lit in forced_set:
+            continue  # probing lit is pointless: ¬lit already forced
+        trial = list(clauses) + [frozenset([lit])]
+        try:
+            propagate_units(trial)
+        except SimplifyConflict:
+            # lit fails -> ¬lit is forced.
+            if lit in forced_set:
+                return forced, True  # both polarities forced: UNSAT
+            if -lit not in forced_set:
+                forced.append(-lit)
+                forced_set.add(-lit)
+    return forced, False

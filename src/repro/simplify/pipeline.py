@@ -1,0 +1,260 @@
+"""The preprocessing pipeline: compose passes to a fixpoint.
+
+Order per round (following SatELite/Kissat practice): unit closure →
+subsumption → strengthening → failed-literal probing → bounded variable
+elimination.  Rounds repeat until nothing changes or a round limit is
+hit.  The result is equisatisfiable with the input; models are mapped
+back with the bundled :class:`ModelReconstructor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.cnf.formula import CNF
+from repro.simplify.elimination import ModelReconstructor, eliminate_variables
+from repro.simplify.passes import (
+    SimplifyConflict,
+    probe_failed_literals,
+    propagate_units,
+    strengthen,
+    subsume,
+)
+from repro.simplify.vivify import vivify
+from repro.simplify.equivalence import substitute_equivalences
+from repro.simplify.xor_gauss import gaussian_eliminate
+from repro.simplify.blocked import eliminate_blocked_clauses
+from repro.solver.solver import Solver, SolverConfig, SolveResult
+from repro.solver.types import Model, Status
+
+Clause = FrozenSet[int]
+
+
+@dataclass
+class PreprocessStats:
+    """What each pass accomplished, summed over rounds."""
+
+    rounds: int = 0
+    fixed_variables: int = 0
+    subsumed_clauses: int = 0
+    strengthened_literals: int = 0
+    failed_literals: int = 0
+    eliminated_variables: int = 0
+    vivified_clauses: int = 0
+    substituted_variables: int = 0
+    xor_units: int = 0
+    xor_equivalences: int = 0
+    blocked_clauses: int = 0
+
+
+@dataclass
+class PreprocessResult:
+    """Simplified formula plus everything needed to map models back."""
+
+    cnf: CNF
+    status: Status  # UNSATISFIABLE when preprocessing already decided it
+    fixed: Dict[int, bool] = field(default_factory=dict)
+    reconstructor: ModelReconstructor = field(default_factory=ModelReconstructor)
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+    original_num_vars: int = 0
+
+    def reconstruct(self, model: Optional[Model]) -> Model:
+        """Extend a model of the simplified CNF to the original variables."""
+        full: Model = [None] * (self.original_num_vars + 1)
+        if model is not None:
+            for var in range(1, min(len(model), len(full))):
+                full[var] = model[var]
+        # Unit fixings are replayed from the reconstruction stack (in
+        # witness order) rather than applied up front; `self.fixed` stays
+        # available as metadata.
+        self.reconstructor.extend(full)
+        for var in range(1, self.original_num_vars + 1):
+            if full[var] is None:
+                full[var] = True  # unconstrained
+        return full
+
+
+class Preprocessor:
+    """Configurable simplification pipeline."""
+
+    def __init__(
+        self,
+        max_rounds: int = 3,
+        enable_subsumption: bool = True,
+        enable_strengthening: bool = True,
+        enable_probing: bool = True,
+        enable_elimination: bool = True,
+        enable_vivification: bool = False,
+        enable_equivalences: bool = True,
+        enable_xor_gauss: bool = True,
+        xor_max_arity: int = 5,
+        enable_blocked_clauses: bool = False,
+        elimination_growth: int = 0,
+        elimination_max_occurrences: int = 10,
+        max_probes: int = 256,
+    ):
+        if max_rounds < 1:
+            raise ValueError("need at least one round")
+        self.max_rounds = max_rounds
+        self.enable_subsumption = enable_subsumption
+        self.enable_strengthening = enable_strengthening
+        self.enable_probing = enable_probing
+        self.enable_elimination = enable_elimination
+        self.enable_vivification = enable_vivification
+        self.enable_equivalences = enable_equivalences
+        self.enable_xor_gauss = enable_xor_gauss
+        self.xor_max_arity = xor_max_arity
+        self.enable_blocked_clauses = enable_blocked_clauses
+        self.elimination_growth = elimination_growth
+        self.elimination_max_occurrences = elimination_max_occurrences
+        self.max_probes = max_probes
+
+    def preprocess(self, cnf: CNF) -> PreprocessResult:
+        """Simplify ``cnf``; never changes satisfiability."""
+        result = PreprocessResult(
+            cnf=CNF(num_vars=cnf.num_vars),
+            status=Status.UNKNOWN,
+            original_num_vars=cnf.num_vars,
+        )
+        clauses: List[Clause] = [
+            frozenset(c.literals) for c in cnf.clauses if not c.is_tautology()
+        ]
+        if any(not c for c in clauses):
+            result.status = Status.UNSATISFIABLE
+            return result
+
+        try:
+            for _ in range(self.max_rounds):
+                result.stats.rounds += 1
+                changed = False
+
+                clauses, fixed = propagate_units(clauses)
+                for var, value in fixed.items():
+                    if var in result.fixed and result.fixed[var] != value:
+                        raise SimplifyConflict("contradictory units")
+                    result.fixed[var] = value
+                    # Stack the fixing so replay stays witness-ordered
+                    # relative to eliminations/BCE from other rounds.
+                    result.reconstructor.push_fixed(var, value)
+                changed = changed or bool(fixed)
+                result.stats.fixed_variables += len(fixed)
+
+                if self.enable_xor_gauss:
+                    units, equivalences, unsat = gaussian_eliminate(
+                        clauses, max_arity=self.xor_max_arity
+                    )
+                    if unsat:
+                        raise SimplifyConflict(
+                            "GF(2) elimination derived a contradiction"
+                        )
+                    if units:
+                        clauses = clauses + [frozenset([lit]) for lit in units]
+                        result.stats.xor_units += len(units)
+                        changed = True
+                    if equivalences:
+                        # Emit equivalences as binary clause pairs; the SCC
+                        # substitution pass then merges the variables.
+                        extra = []
+                        existing = set(clauses)
+                        for a, signed_b in equivalences:
+                            pair = [
+                                frozenset([a, -signed_b]),
+                                frozenset([-a, signed_b]),
+                            ]
+                            extra.extend(c for c in pair if c not in existing)
+                        if extra:
+                            clauses = clauses + extra
+                            result.stats.xor_equivalences += len(equivalences)
+                            changed = True
+
+
+                if self.enable_subsumption:
+                    clauses, removed = subsume(clauses)
+                    result.stats.subsumed_clauses += removed
+                    changed = changed or removed > 0
+
+                if self.enable_strengthening:
+                    clauses, strengthened = strengthen(clauses)
+                    result.stats.strengthened_literals += strengthened
+                    changed = changed or strengthened > 0
+
+                if self.enable_equivalences:
+                    clauses, substituted, unsat = substitute_equivalences(
+                        clauses, result.reconstructor
+                    )
+                    if unsat:
+                        raise SimplifyConflict(
+                            "a literal is equivalent to its negation"
+                        )
+                    result.stats.substituted_variables += len(substituted)
+                    changed = changed or bool(substituted)
+
+                if self.enable_vivification:
+                    clauses, vivified = vivify(clauses)
+                    result.stats.vivified_clauses += vivified
+                    changed = changed or vivified > 0
+
+                if self.enable_probing:
+                    units, unsat = probe_failed_literals(
+                        clauses, max_probes=self.max_probes
+                    )
+                    if unsat:
+                        raise SimplifyConflict("probing found both polarities failed")
+                    result.stats.failed_literals += len(units)
+                    if units:
+                        clauses = clauses + [frozenset([lit]) for lit in units]
+                        changed = True
+
+                if self.enable_elimination:
+                    clauses, eliminated, unsat = eliminate_variables(
+                        clauses,
+                        cnf.num_vars,
+                        result.reconstructor,
+                        growth=self.elimination_growth,
+                        max_occurrences=self.elimination_max_occurrences,
+                    )
+                    if unsat:
+                        raise SimplifyConflict("elimination derived the empty clause")
+                    result.stats.eliminated_variables += len(eliminated)
+                    changed = changed or bool(eliminated)
+
+                if self.enable_blocked_clauses:
+                    clauses, blocked = eliminate_blocked_clauses(
+                        clauses, result.reconstructor
+                    )
+                    result.stats.blocked_clauses += blocked
+                    changed = changed or blocked > 0
+
+                if not changed:
+                    break
+        except SimplifyConflict:
+            result.status = Status.UNSATISFIABLE
+            return result
+
+        result.cnf = CNF([sorted(c) for c in clauses], num_vars=cnf.num_vars)
+        return result
+
+
+def solve_with_preprocessing(
+    cnf: CNF,
+    preprocessor: Optional[Preprocessor] = None,
+    config: Optional[SolverConfig] = None,
+    **budgets: Optional[int],
+) -> SolveResult:
+    """Preprocess, solve the residual formula, and reconstruct the model."""
+    preprocessor = preprocessor or Preprocessor()
+    pre = preprocessor.preprocess(cnf)
+    if pre.status is Status.UNSATISFIABLE:
+        return SolveResult(status=Status.UNSATISFIABLE)
+    result = Solver(pre.cnf, config=config).solve(**budgets)
+    if result.status is Status.SATISFIABLE:
+        full_model = pre.reconstruct(result.model)
+        assert cnf.check_model(full_model), "reconstructed model must satisfy input"
+        return SolveResult(
+            status=Status.SATISFIABLE,
+            model=full_model,
+            stats=result.stats,
+            policy_name=result.policy_name,
+        )
+    return result

@@ -1,0 +1,109 @@
+"""Clause vivification (distillation).
+
+For a clause ``C = (l1 ∨ ... ∨ lk)`` in formula ``F``, assume the
+negations ``¬l1, ¬l2, ...`` one at a time over ``F \\ {C}`` and unit
+propagate after each:
+
+* **conflict** after asserting the first ``i`` negations — the prefix
+  ``(l1 ∨ ... ∨ li)`` is already implied, so it replaces ``C``;
+* some **later literal of C becomes true** — ``(l1 ∨ ... ∨ li ∨ lj)``
+  replaces ``C``;
+* some later literal becomes **false** — it is redundant in ``C`` and
+  is dropped.
+
+Every rewrite yields a clause that is both implied by ``F`` and
+subsumes ``C`` given ``F``, so satisfiability is preserved.  This is the
+preprocessing flavour of the vivification Kissat runs as inprocessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+Clause = FrozenSet[int]
+
+
+def _propagate_with_assumptions(
+    clauses: List[Clause], assumptions: Dict[int, bool]
+) -> Tuple[Optional[Dict[int, bool]], bool]:
+    """Unit propagation from a starting assignment.
+
+    Returns ``(assignment, conflict)``; assignment is None on conflict.
+    """
+    assignment = dict(assumptions)
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned: Optional[int] = None
+            satisfied = False
+            extra = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                elif unassigned is None:
+                    unassigned = lit
+                else:
+                    extra = True
+            if satisfied:
+                continue
+            if unassigned is None:
+                return None, True
+            if not extra:
+                assignment[abs(unassigned)] = unassigned > 0
+                changed = True
+    return assignment, False
+
+
+def vivify(
+    clauses: List[Clause],
+    min_size: int = 3,
+    max_clauses: int = 500,
+) -> Tuple[List[Clause], int]:
+    """One vivification sweep.
+
+    Only clauses with at least ``min_size`` literals are candidates
+    (binary clauses cannot shrink usefully), and at most ``max_clauses``
+    are attempted per sweep (each costs several unit propagations).
+    Returns the new clause list and the number of clauses shortened.
+    """
+    result = list(clauses)
+    shortened = 0
+    attempts = 0
+    for index, clause in enumerate(clauses):
+        if len(clause) < min_size:
+            continue
+        if attempts >= max_clauses:
+            break
+        attempts += 1
+        others = [c for j, c in enumerate(result) if j != index]
+        ordered = sorted(clause, key=abs)
+        kept: List[int] = []
+        assumptions: Dict[int, bool] = {}
+        rewritten: Optional[List[int]] = None
+        for position, lit in enumerate(ordered):
+            assignment, conflict = _propagate_with_assumptions(others, assumptions)
+            if conflict:
+                # The negated prefix is already contradictory.
+                rewritten = list(kept)
+                break
+            assert assignment is not None
+            value = assignment.get(abs(lit))
+            if value is not None:
+                if value == (lit > 0):
+                    # Prefix implies lit: prefix + lit replaces the clause.
+                    rewritten = kept + [lit]
+                    break
+                # lit is false under the prefix: redundant, drop it.
+                continue
+            kept.append(lit)
+            assumptions[abs(lit)] = not (lit > 0)
+        if rewritten is None and len(kept) < len(ordered):
+            rewritten = kept
+        if rewritten is not None and 0 < len(rewritten) < len(clause):
+            result[index] = frozenset(rewritten)
+            shortened += 1
+    return result, shortened

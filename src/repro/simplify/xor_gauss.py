@@ -1,0 +1,191 @@
+"""XOR recovery and Gaussian elimination over GF(2).
+
+Tseitin-style instances (our parity family, crypto problems) encode XOR
+constraints as exponential clause groups: an XOR over ``k`` variables
+appears as the ``2^(k-1)`` clauses excluding every odd/even sign
+pattern.  CDCL's clause-by-clause resolution is blind to this algebraic
+structure — the reason parity contradictions are exponentially hard for
+it.  The classic fix (CryptoMiniSat): *recover* the XOR constraints,
+run **Gaussian elimination over GF(2)**, and feed what it learns back as
+units, equivalences, or an outright inconsistency proof.
+
+This pass is preprocessing-only (no in-search Gauss): it shrinks or
+decides the instance before CDCL starts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+Clause = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class XorConstraint:
+    """``var_1 XOR ... XOR var_k = rhs`` over positive variable ids."""
+
+    variables: Tuple[int, ...]  # sorted, distinct, positive
+    rhs: int  # 0 or 1
+
+    def __post_init__(self):
+        if self.rhs not in (0, 1):
+            raise ValueError("rhs must be 0 or 1")
+        if list(self.variables) != sorted(set(self.variables)):
+            raise ValueError("variables must be sorted and distinct")
+        if any(v <= 0 for v in self.variables):
+            raise ValueError("variables must be positive ids")
+
+
+def _expected_group(variables: Sequence[int], rhs: int) -> Set[Clause]:
+    """The full clause group encoding XOR(variables) = rhs."""
+    group: Set[Clause] = set()
+    k = len(variables)
+    for signs in itertools.product((1, -1), repeat=k):
+        negations = sum(1 for s in signs if s < 0)
+        # A clause excludes exactly the assignment falsifying all its
+        # literals; there v_i is true iff the literal is negative, so the
+        # excluded assignment's parity equals `negations`.  The group
+        # needs the clause iff that parity differs from rhs.
+        if negations % 2 != rhs:
+            group.add(frozenset(s * v for s, v in zip(signs, variables)))
+    return group
+
+
+def recover_xors(
+    clauses: Sequence[Clause], max_arity: int = 5
+) -> List[XorConstraint]:
+    """Find complete XOR clause groups hidden in a CNF.
+
+    For every clause of size ``k <= max_arity``, checks whether all
+    ``2^(k-1)`` sign-pattern siblings of one parity are present; if so,
+    the group encodes an XOR constraint.  Each group is reported once.
+    """
+    clause_set = set(clauses)
+    found: List[XorConstraint] = []
+    seen_groups: Set[Tuple[Tuple[int, ...], int]] = set()
+    for clause in clauses:
+        k = len(clause)
+        if k < 2 or k > max_arity:
+            continue
+        variables = tuple(sorted(abs(lit) for lit in clause))
+        if len(set(variables)) != k:
+            continue
+        for rhs in (0, 1):
+            key = (variables, rhs)
+            if key in seen_groups:
+                continue
+            group = _expected_group(variables, rhs)
+            if clause in group and group <= clause_set:
+                seen_groups.add(key)
+                found.append(XorConstraint(variables=variables, rhs=rhs))
+    return found
+
+
+class GF2System:
+    """A linear system over GF(2), solved by Gaussian elimination.
+
+    Rows are (variable-set, rhs) pairs; XOR of rows is symmetric set
+    difference plus rhs XOR.  After :meth:`eliminate`:
+
+    * inconsistency (empty row with rhs 1) proves UNSAT;
+    * unit rows fix variables;
+    * binary rows are equivalences ``a = b XOR rhs``.
+    """
+
+    def __init__(self, constraints: Sequence[XorConstraint] = ()):
+        self.rows: List[Tuple[Set[int], int]] = [
+            (set(c.variables), c.rhs) for c in constraints
+        ]
+        self.inconsistent = False
+
+    def add(self, constraint: XorConstraint) -> None:
+        self.rows.append((set(constraint.variables), constraint.rhs))
+
+    def eliminate(self) -> None:
+        """Row-reduce to (a sparse analogue of) reduced row-echelon form."""
+        reduced: List[Tuple[Set[int], int]] = []
+        pivots: Dict[int, int] = {}  # pivot var -> index into reduced
+        for row_vars, rhs in self.rows:
+            vars_ = set(row_vars)
+            # Reduce against existing pivots.
+            while True:
+                hit = next((v for v in vars_ if v in pivots), None)
+                if hit is None:
+                    break
+                pivot_vars, pivot_rhs = reduced[pivots[hit]]
+                vars_ ^= pivot_vars
+                rhs ^= pivot_rhs
+            if not vars_:
+                if rhs == 1:
+                    self.inconsistent = True
+                continue
+            pivot = min(vars_)
+            pivots[pivot] = len(reduced)
+            reduced.append((vars_, rhs))
+        # Back-substitute so every pivot appears in exactly one row.
+        for i in range(len(reduced) - 1, -1, -1):
+            vars_i, rhs_i = reduced[i]
+            pivot = min(vars_i)
+            for j in range(len(reduced)):
+                if j == i:
+                    continue
+                vars_j, rhs_j = reduced[j]
+                if pivot in vars_j:
+                    reduced[j] = (vars_j ^ vars_i, rhs_j ^ rhs_i)
+        self.rows = reduced
+
+    # -- extraction ----------------------------------------------------------
+
+    def units(self) -> List[int]:
+        """Forced literals: rows with exactly one variable."""
+        out = []
+        for vars_, rhs in self.rows:
+            if len(vars_) == 1:
+                (v,) = vars_
+                out.append(v if rhs == 1 else -v)
+        return out
+
+    def equivalences(self) -> List[Tuple[int, int]]:
+        """Pairs ``(a, signed_b)`` meaning ``a == signed_b``.
+
+        A row ``a XOR b = 0`` gives ``a == b``; ``a XOR b = 1`` gives
+        ``a == -b``.
+        """
+        out = []
+        for vars_, rhs in self.rows:
+            if len(vars_) == 2:
+                a, b = sorted(vars_)
+                out.append((a, b if rhs == 0 else -b))
+        return out
+
+
+def gaussian_eliminate(
+    clauses: List[Clause], max_arity: int = 5
+) -> Tuple[List[int], List[Tuple[int, int]], bool]:
+    """Recover XORs, eliminate, and report (units, equivalences, unsat).
+
+    Unit clauses join the system as arity-1 XOR constraints — they are
+    what usually turns a consistent XOR chain system into a derived
+    contradiction (e.g. two parity chains pinned to opposite values).
+    The reported units/equivalences exclude facts that were already
+    explicit unit clauses.
+    """
+    constraints = recover_xors(clauses, max_arity=max_arity)
+    known_units = set()
+    for clause in clauses:
+        if len(clause) == 1:
+            (lit,) = clause
+            known_units.add(lit)
+            constraints.append(
+                XorConstraint(variables=(abs(lit),), rhs=1 if lit > 0 else 0)
+            )
+    if not constraints:
+        return [], [], False
+    system = GF2System(constraints)
+    system.eliminate()
+    if system.inconsistent:
+        return [], [], True
+    new_units = [lit for lit in system.units() if lit not in known_units]
+    return new_units, system.equivalences(), False

@@ -1,0 +1,62 @@
+"""CDCL SAT solver substrate (the reproduction's stand-in for Kissat).
+
+A from-scratch conflict-driven clause-learning solver with the features
+the paper's deletion-policy experiments depend on: two-watched-literal
+propagation with per-variable propagation-frequency counters, 1-UIP
+learning with minimization and glue computation, VSIDS decisions with
+phase saving, Luby/EMA restarts, Kissat-style tiered clause reduction
+driven by a pluggable :class:`~repro.policies.base.DeletionPolicy`, and
+DRAT proof logging.
+"""
+
+from repro.solver.types import Status, Model, encode, decode, negate, variable_of
+from repro.solver.statistics import SolverStatistics
+from repro.solver.clause_db import ClauseDatabase, SolverClause
+from repro.solver.assignment import Trail
+from repro.solver.watchers import WatchLists
+from repro.solver.propagate import Propagator
+from repro.solver.analyze import ConflictAnalyzer
+from repro.solver.decide import Decider
+from repro.solver.vmtf import VMTFDecider
+from repro.solver.restart import LubyRestarts, EMARestarts, luby
+from repro.solver.reduce import ReduceScheduler
+from repro.solver.proof import ProofLog
+from repro.solver.solver import Solver, SolverConfig, SolveResult, solve
+from repro.solver.reference import brute_force_status, dpll_solve
+from repro.solver.drat import check_drat, trim_proof, DratError
+from repro.solver.walksat import WalkSAT, WalkSATResult, walksat_phases
+
+__all__ = [
+    "Status",
+    "Model",
+    "encode",
+    "decode",
+    "negate",
+    "variable_of",
+    "SolverStatistics",
+    "ClauseDatabase",
+    "SolverClause",
+    "Trail",
+    "WatchLists",
+    "Propagator",
+    "ConflictAnalyzer",
+    "Decider",
+    "VMTFDecider",
+    "LubyRestarts",
+    "EMARestarts",
+    "luby",
+    "ReduceScheduler",
+    "ProofLog",
+    "Solver",
+    "SolverConfig",
+    "SolveResult",
+    "solve",
+    "brute_force_status",
+    "dpll_solve",
+    "check_drat",
+    "trim_proof",
+    "DratError",
+    "WalkSAT",
+    "WalkSATResult",
+    "walksat_phases",
+]

@@ -1,0 +1,144 @@
+"""First-UIP conflict analysis with clause minimization.
+
+Given a conflicting clause, walks the implication graph backwards along
+reason clauses until exactly one literal of the current decision level
+remains (the first unique implication point).  The learned clause is then
+*minimized* by removing literals that are implied by the rest of the
+clause (self-subsuming resolution with reason clauses), and its *glue*
+(LBD — number of distinct decision levels) is computed, which drives both
+deletion policies and glue-based restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.solver.assignment import Trail
+from repro.solver.clause_db import ClauseDatabase, SolverClause
+from repro.solver.statistics import SolverStatistics
+
+
+class ConflictAnalyzer:
+    """Derives learned clauses from conflicts (1-UIP scheme)."""
+
+    def __init__(
+        self,
+        trail: Trail,
+        clause_db: ClauseDatabase,
+        stats: SolverStatistics,
+        bump_variable: Callable[[int], None],
+    ):
+        self.trail = trail
+        self.clause_db = clause_db
+        self.stats = stats
+        self.bump_variable = bump_variable
+        self._seen: List[bool] = [False] * (trail.num_vars + 1)
+
+    def analyze(self, conflict: SolverClause) -> Tuple[List[int], int, int]:
+        """Analyze a conflict at decision level > 0.
+
+        Returns ``(learned_lits, backjump_level, glue)`` where
+        ``learned_lits[0]`` is the asserting (1-UIP) literal.
+        """
+        trail = self.trail
+        seen = self._seen
+        current_level = trail.decision_level
+        assert current_level > 0, "conflict at level 0 is final UNSAT"
+
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        counter = 0  # unresolved literals at the current level
+        index = len(trail.trail) - 1
+        reason: Optional[SolverClause] = conflict
+        asserting_lit = -1
+        touched: List[int] = []
+
+        while True:
+            assert reason is not None, "reached a decision while resolving"
+            if reason.learned:
+                self.clause_db.bump_clause(reason)
+            start = 1 if reason is not conflict else 0
+            lits = reason.lits
+            for k in range(start, len(lits)):
+                lit = lits[k]
+                var = lit >> 1
+                level = trail.levels[var]
+                if seen[var] or level == 0:
+                    continue
+                seen[var] = True
+                touched.append(var)
+                self.bump_variable(var)
+                if level == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Find the next seen literal on the trail (current level).
+            while not seen[trail.trail[index] >> 1]:
+                index -= 1
+            asserting_lit = trail.trail[index]
+            var = asserting_lit >> 1
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = trail.reasons[var]
+
+        learned[0] = asserting_lit ^ 1
+
+        # -- recursive-lite minimization ----------------------------------
+        before = len(learned)
+        learned = self._minimize(learned)
+        self.stats.minimized_literals += before - len(learned)
+
+        # -- glue (LBD): distinct decision levels in the learned clause ----
+        levels = {trail.levels[lit >> 1] for lit in learned}
+        glue = len(levels)
+
+        # -- backjump level: second-highest level in the clause -------------
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            # Move the literal with the highest level (below current) to slot 1.
+            max_i = 1
+            max_level = trail.levels[learned[1] >> 1]
+            for i in range(2, len(learned)):
+                lvl = trail.levels[learned[i] >> 1]
+                if lvl > max_level:
+                    max_level = lvl
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            backjump = max_level
+
+        for var in touched:
+            seen[var] = False
+        return learned, backjump, glue
+
+    def _minimize(self, learned: List[int]) -> List[int]:
+        """Drop literals whose reasons are subsumed by the clause itself.
+
+        A non-asserting literal can be removed when every literal of its
+        reason clause is already marked ``seen`` (or is at level 0) — the
+        classic local minimization of MiniSat (non-recursive variant).
+        """
+        trail = self.trail
+        seen = self._seen
+        kept = [learned[0]]
+        for lit in learned[1:]:
+            var = lit >> 1
+            reason = trail.reasons[var]
+            if reason is None:
+                kept.append(lit)
+                continue
+            removable = True
+            for other in reason.lits:
+                ovar = other >> 1
+                if ovar == var:
+                    continue
+                if not seen[ovar] and trail.levels[ovar] > 0:
+                    removable = False
+                    break
+            if not removable:
+                kept.append(lit)
+            else:
+                seen[var] = False
+        return kept

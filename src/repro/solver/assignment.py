@@ -1,0 +1,101 @@
+"""Assignment trail: values, decision levels, reasons, backtracking.
+
+The trail is the chronological record of all current assignments.  Each
+variable stores the truth value, the decision level it was assigned at,
+and the *reason* clause that implied it (``None`` for decisions).  This is
+the state the propagator and conflict analyzer both walk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.solver.clause_db import SolverClause
+from repro.solver.types import FALSE, TRUE, UNASSIGNED, lit_sign_value, variable_of
+
+
+class Trail:
+    """Assignment state for ``num_vars`` variables (1-based)."""
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        n = num_vars + 1
+        self.values: List[int] = [UNASSIGNED] * n  # per variable
+        self.levels: List[int] = [0] * n
+        self.reasons: List[Optional[SolverClause]] = [None] * n
+        self.trail: List[int] = []  # internal literals, assignment order
+        self.trail_lim: List[int] = []  # trail index where each level starts
+        self.qhead: int = 0  # propagation queue head into trail
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def value_var(self, var: int) -> int:
+        return self.values[var]
+
+    def value_lit(self, lit: int) -> int:
+        """TRUE / FALSE / UNASSIGNED for an internal literal."""
+        v = self.values[lit >> 1]
+        if v == UNASSIGNED:
+            return UNASSIGNED
+        # Positive literal: value of variable.  Negative: flipped.
+        return v ^ (lit & 1)
+
+    def is_assigned(self, var: int) -> bool:
+        return self.values[var] != UNASSIGNED
+
+    def num_assigned(self) -> int:
+        return len(self.trail)
+
+    def all_assigned(self) -> bool:
+        return len(self.trail) == self.num_vars
+
+    # -- mutation --------------------------------------------------------------
+
+    def new_decision_level(self) -> None:
+        self.trail_lim.append(len(self.trail))
+
+    def assign(self, lit: int, reason: Optional[SolverClause]) -> None:
+        """Record ``lit`` as true at the current decision level."""
+        var = lit >> 1
+        assert self.values[var] == UNASSIGNED, f"variable {var} already assigned"
+        self.values[var] = lit_sign_value(lit)
+        self.levels[var] = self.decision_level
+        self.reasons[var] = reason
+        self.trail.append(lit)
+
+    def backtrack(self, level: int) -> List[int]:
+        """Undo all assignments above ``level``; returns unassigned literals."""
+        if level >= self.decision_level:
+            return []
+        boundary = self.trail_lim[level]
+        undone = self.trail[boundary:]
+        for lit in undone:
+            var = lit >> 1
+            self.values[var] = UNASSIGNED
+            self.reasons[var] = None
+        del self.trail[boundary:]
+        del self.trail_lim[level:]
+        self.qhead = min(self.qhead, len(self.trail))
+        return undone
+
+    def model(self) -> List[Optional[bool]]:
+        """Current assignment as an optional-bool list indexed by variable."""
+        out: List[Optional[bool]] = [None] * (self.num_vars + 1)
+        for var in range(1, self.num_vars + 1):
+            v = self.values[var]
+            if v == TRUE:
+                out[var] = True
+            elif v == FALSE:
+                out[var] = False
+        return out
+
+    def is_reason(self, clause: SolverClause) -> bool:
+        """True when ``clause`` currently implies some assigned variable."""
+        if not clause.lits:
+            return False
+        var = variable_of(clause.lits[0])
+        return self.values[var] != UNASSIGNED and self.reasons[var] is clause

@@ -1,0 +1,113 @@
+"""Clause database: solver-internal clauses and their lifecycle.
+
+Mirrors Kissat's split between *irredundant* clauses (the original
+problem) and *redundant* (learned) clauses.  Learned clauses carry the
+metadata every deletion policy scores on: glue (LBD), size, activity, and
+a ``used`` flag set whenever the clause participates in conflict analysis.
+Learned clauses with glue at or below ``keep_glue`` are "non-reducible" in
+Kissat's terminology — they are never candidates for deletion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+class SolverClause:
+    """A clause inside the solver, with literals in internal encoding.
+
+    ``lits[0]`` and ``lits[1]`` are the watched literals (for clauses of
+    length >= 2).  ``garbage`` marks logically deleted clauses awaiting
+    sweep; the propagator skips them lazily.
+    """
+
+    __slots__ = ("lits", "learned", "glue", "activity", "used", "garbage", "frequency")
+
+    def __init__(self, lits: List[int], learned: bool = False, glue: int = 0):
+        self.lits: List[int] = lits
+        self.learned: bool = learned
+        self.glue: int = glue
+        self.activity: float = 0.0
+        self.used: bool = False
+        self.garbage: bool = False
+        # Cached Eq. (2) criterion, refreshed at each reduction round.
+        self.frequency: int = 0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:
+        kind = "learned" if self.learned else "original"
+        return f"SolverClause({self.lits}, {kind}, glue={self.glue})"
+
+
+class ClauseDatabase:
+    """Owns all clauses and the reduce bookkeeping."""
+
+    def __init__(self, keep_glue: int = 2):
+        self.original: List[SolverClause] = []
+        self.learned: List[SolverClause] = []
+        # Learned clauses with glue <= keep_glue are never deleted
+        # (Kissat's non-reducible tier).
+        self.keep_glue: int = keep_glue
+        self.clause_inc: float = 1.0
+        self.clause_decay: float = 0.999
+
+    # -- construction ------------------------------------------------------
+
+    def add_original(self, lits: List[int]) -> SolverClause:
+        clause = SolverClause(lits, learned=False)
+        self.original.append(clause)
+        return clause
+
+    def add_learned(self, lits: List[int], glue: int) -> SolverClause:
+        clause = SolverClause(lits, learned=True, glue=glue)
+        clause.activity = self.clause_inc
+        self.learned.append(clause)
+        return clause
+
+    # -- activity ----------------------------------------------------------
+
+    def bump_clause(self, clause: SolverClause) -> None:
+        """Increase a clause's activity; rescale all on overflow."""
+        clause.activity += self.clause_inc
+        clause.used = True
+        if clause.activity > 1e20:
+            for c in self.learned:
+                c.activity *= 1e-20
+            self.clause_inc *= 1e-20
+
+    def decay_clause_activities(self) -> None:
+        self.clause_inc /= self.clause_decay
+
+    # -- deletion ----------------------------------------------------------
+
+    def reducible_clauses(self) -> List[SolverClause]:
+        """Learned clauses that are candidates for deletion."""
+        return [
+            c
+            for c in self.learned
+            if not c.garbage and c.glue > self.keep_glue and len(c.lits) > 2
+        ]
+
+    def mark_garbage(self, clause: SolverClause) -> None:
+        clause.garbage = True
+
+    def sweep(self) -> int:
+        """Physically remove garbage learned clauses; returns count removed."""
+        before = len(self.learned)
+        self.learned = [c for c in self.learned if not c.garbage]
+        return before - len(self.learned)
+
+    # -- inspection ----------------------------------------------------------
+
+    def live_learned(self) -> Iterator[SolverClause]:
+        return (c for c in self.learned if not c.garbage)
+
+    @property
+    def num_learned(self) -> int:
+        return sum(1 for _ in self.live_learned())
+
+    @property
+    def num_original(self) -> int:
+        return len(self.original)

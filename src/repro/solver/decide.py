@@ -1,0 +1,137 @@
+"""Decision heuristic: exponential VSIDS with phase saving.
+
+Variables touched by conflict analysis get their activity bumped; the
+bump grows geometrically (EVSIDS) so recent conflicts dominate.  The next
+decision picks the unassigned variable of maximum activity, assigned with
+its last-saved polarity (phase saving), defaulting to *true* like Kissat.
+
+The priority queue is a lazy binary heap: stale entries (outdated
+activity or already-assigned variables) are skipped on pop, which keeps
+the implementation simple without hurting asymptotics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.solver.assignment import Trail
+
+
+class Decider:
+    """VSIDS variable order + saved phases."""
+
+    def __init__(
+        self,
+        trail: Trail,
+        decay: float = 0.95,
+        initial_phase: bool = True,
+    ):
+        self.trail = trail
+        num_vars = trail.num_vars
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self.saved_phase: List[bool] = [initial_phase] * (num_vars + 1)
+        self.var_inc: float = 1.0
+        self.decay: float = decay
+        # Lazy max-heap of (-activity, var); may contain stale entries.
+        self._heap: List[tuple] = [(0.0, v) for v in range(1, num_vars + 1)]
+        heapq.heapify(self._heap)
+
+    # -- activity -------------------------------------------------------------
+
+    def bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            self._rescale()
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def decay_activities(self) -> None:
+        """EVSIDS: grow the increment instead of decaying every score."""
+        self.var_inc /= self.decay
+
+    def _rescale(self) -> None:
+        for v in range(1, len(self.activity)):
+            self.activity[v] *= 1e-100
+        self.var_inc *= 1e-100
+        self._heap = [
+            (-self.activity[v], v) for v in range(1, len(self.activity))
+        ]
+        heapq.heapify(self._heap)
+
+    # -- phases --------------------------------------------------------------
+
+    def save_phase(self, var: int, value: bool) -> None:
+        self.saved_phase[var] = value
+
+    def save_trail_phases(self) -> None:
+        """Snapshot polarities of everything currently assigned."""
+        for lit in self.trail.trail:
+            self.saved_phase[lit >> 1] = (lit & 1) == 0
+
+    # -- rephasing -------------------------------------------------------------
+
+    def snapshot_best_phases(self) -> None:
+        """Remember the current trail's polarities as the "best" phases.
+
+        The solver calls this whenever the trail reaches a new maximum —
+        the assignment that got closest to satisfying everything.
+        """
+        self._best_phase = list(self.saved_phase)
+        for lit in self.trail.trail:
+            self._best_phase[lit >> 1] = (lit & 1) == 0
+
+    def rephase(self, style: str, initial_phase: bool = True) -> None:
+        """Reset all saved phases (Kissat's rephasing, simplified).
+
+        Styles: ``"original"`` (the configured initial phase),
+        ``"inverted"`` (its negation), ``"best"`` (polarities of the
+        longest trail seen so far; falls back to original when no
+        snapshot exists yet).
+        """
+        if style == "original":
+            value = initial_phase
+            self.saved_phase = [value] * len(self.saved_phase)
+        elif style == "inverted":
+            value = not initial_phase
+            self.saved_phase = [value] * len(self.saved_phase)
+        elif style == "best":
+            best = getattr(self, "_best_phase", None)
+            if best is None:
+                self.saved_phase = [initial_phase] * len(self.saved_phase)
+            else:
+                self.saved_phase = list(best)
+        else:
+            raise ValueError(f"unknown rephase style {style!r}")
+
+    # -- decisions -------------------------------------------------------------
+
+    def requeue(self, var: int) -> None:
+        """Re-insert a variable unassigned by backtracking."""
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def pick_branch_variable(self) -> Optional[int]:
+        """Highest-activity unassigned variable, or None when all assigned.
+
+        Every bump pushes a fresh entry, so the first unassigned variable
+        popped carries its maximal recorded activity — stale duplicates
+        sort strictly later and are simply skipped when re-encountered.
+        """
+        values = self.trail.values
+        heap = self._heap
+        while heap:
+            _, var = heapq.heappop(heap)
+            if values[var] == -1:  # UNASSIGNED == -1
+                return var
+        # Heap exhausted (all entries consumed): rebuild from scratch.
+        for var in range(1, self.trail.num_vars + 1):
+            if values[var] == -1:
+                heapq.heappush(heap, (-self.activity[var], var))
+                return var
+        return None
+
+    def pick_branch_literal(self) -> Optional[int]:
+        """Decision literal (internal encoding) honouring the saved phase."""
+        var = self.pick_branch_variable()
+        if var is None:
+            return None
+        return 2 * var if self.saved_phase[var] else 2 * var + 1

@@ -1,0 +1,270 @@
+"""Forward DRAT (RUP) proof checker.
+
+Validates the proofs emitted by :class:`~repro.solver.proof.ProofLog`:
+every added clause must be a *reverse unit propagation* (RUP)
+consequence of the current clause set — assuming all its literals false
+and propagating units must yield a conflict — and the proof must end
+with (or derive) the empty clause for a valid refutation.
+
+This is a reference checker: simple counter-based unit propagation over
+frozen clause lists, built for correctness and test use, not speed.
+Clauses learned by CDCL with 1-UIP analysis are always RUP, so the
+checker doubles as an oracle that the solver's conflict analysis is
+sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cnf.formula import CNF
+
+
+class DratError(ValueError):
+    """Raised when a proof line is malformed or a step is not RUP."""
+
+
+def parse_proof(text: str) -> List[Tuple[str, Tuple[int, ...]]]:
+    """Parse DRAT text into ('a'|'d', literals) steps."""
+    steps: List[Tuple[str, Tuple[int, ...]]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        kind = "a"
+        if line.startswith("d "):
+            kind = "d"
+            line = line[2:]
+        try:
+            numbers = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise DratError(f"line {line_no}: bad token") from exc
+        if not numbers or numbers[-1] != 0:
+            raise DratError(f"line {line_no}: missing 0 terminator")
+        steps.append((kind, tuple(numbers[:-1])))
+    return steps
+
+
+def _propagate(
+    clauses: List[Optional[Tuple[int, ...]]],
+    assignment: Dict[int, bool],
+) -> bool:
+    """Saturating unit propagation; True when a conflict is reached."""
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            if clause is None:
+                continue
+            unassigned: Optional[int] = None
+            satisfied = False
+            more_than_one = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                elif unassigned is None:
+                    unassigned = lit
+                else:
+                    more_than_one = True
+            if satisfied:
+                continue
+            if unassigned is None:
+                return True  # conflict: all literals false
+            if not more_than_one:
+                assignment[abs(unassigned)] = unassigned > 0
+                changed = True
+    return False
+
+
+def _is_rup(
+    clauses: List[Optional[Tuple[int, ...]]], clause: Sequence[int]
+) -> bool:
+    """True when asserting the negation of ``clause`` propagates to conflict."""
+    assignment: Dict[int, bool] = {}
+    for lit in clause:
+        var = abs(lit)
+        value = lit < 0  # literal must be false
+        if var in assignment and assignment[var] != value:
+            return True  # clause is a tautology: trivially RUP
+        assignment[var] = value
+    return _propagate(clauses, assignment)
+
+
+def _propagate_tracking(
+    clauses: List[Optional[Tuple[int, ...]]],
+    assignment: Dict[int, bool],
+) -> Tuple[bool, Set[int]]:
+    """Unit propagation returning the *conflict cone* of clause indices.
+
+    Each propagated variable remembers its reason clause; on conflict,
+    walking reasons backward from the conflict clause yields exactly the
+    antecedents the derivation needs — units that fired but do not feed
+    the conflict stay out of the cone, which is what makes proof
+    trimming actually shrink proofs.
+    """
+    reasons: Dict[int, int] = {}  # var -> clause index that propagated it
+    conflict_index: Optional[int] = None
+    changed = True
+    while changed and conflict_index is None:
+        changed = False
+        for index, clause in enumerate(clauses):
+            if clause is None:
+                continue
+            unassigned: Optional[int] = None
+            satisfied = False
+            more = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                elif unassigned is None:
+                    unassigned = lit
+                else:
+                    more = True
+            if satisfied:
+                continue
+            if unassigned is None:
+                conflict_index = index
+                break
+            if not more:
+                assignment[abs(unassigned)] = unassigned > 0
+                reasons[abs(unassigned)] = index
+                changed = True
+    if conflict_index is None:
+        return False, set()
+
+    # Backward cone: from the conflict clause through reasons.
+    cone: Set[int] = set()
+    queue = [conflict_index]
+    seen_vars: Set[int] = set()
+    while queue:
+        index = queue.pop()
+        if index in cone:
+            continue
+        cone.add(index)
+        clause = clauses[index]
+        assert clause is not None
+        for lit in clause:
+            var = abs(lit)
+            if var in seen_vars:
+                continue
+            seen_vars.add(var)
+            if var in reasons:
+                queue.append(reasons[var])
+    return True, cone
+
+
+def trim_proof(cnf: CNF, proof_text: str) -> str:
+    """Shrink a DRAT refutation to the additions the empty clause needs.
+
+    Forward pass: replay the proof, recording for each addition the
+    clauses its RUP check touched.  Backward pass: mark the terminal
+    (empty or final) clause and transitively everything it depends on;
+    emit only marked additions.  Deletions are dropped entirely — extra
+    available clauses never invalidate a RUP step, so the trimmed proof
+    remains checkable (and is verified by the caller via
+    :func:`check_drat`).
+
+    Raises :class:`DratError` when the input proof is invalid.
+    """
+    original = [tuple(c.literals) for c in cnf.clauses]
+    clauses: List[Optional[Tuple[int, ...]]] = list(original)
+    num_original = len(clauses)
+
+    steps = parse_proof(proof_text)
+    additions: List[Tuple[int, Tuple[int, ...], Set[int]]] = []  # (index, lits, deps)
+    terminal: Optional[int] = None
+
+    for kind, lits in steps:
+        if kind == "d":
+            continue  # trimming ignores deletions (they only remove options)
+        assignment: Dict[int, bool] = {}
+        tautology = False
+        for lit in lits:
+            var = abs(lit)
+            value = lit < 0
+            if var in assignment and assignment[var] != value:
+                tautology = True
+                break
+            assignment[var] = value
+        if tautology:
+            deps: Set[int] = set()
+        else:
+            conflict, deps = _propagate_tracking(clauses, assignment)
+            if not conflict:
+                raise DratError(f"clause {list(lits)} is not RUP")
+        index = len(clauses)
+        clauses.append(tuple(lits))
+        additions.append((index, tuple(lits), deps))
+        if not lits:
+            terminal = index
+            break
+
+    if terminal is None:
+        if not additions:
+            raise DratError("proof adds no clauses")
+        terminal = additions[-1][0]
+
+    by_index = {index: (lits, deps) for index, lits, deps in additions}
+    marked: Set[int] = set()
+    stack = [terminal]
+    while stack:
+        index = stack.pop()
+        if index in marked or index < num_original:
+            continue
+        marked.add(index)
+        _, deps = by_index[index]
+        stack.extend(deps)
+
+    lines = []
+    for index, lits, _ in additions:
+        if index in marked:
+            lines.append(" ".join(map(str, lits)) + " 0" if lits else "0")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def check_drat(cnf: CNF, proof_text: str, require_empty: bool = True) -> bool:
+    """Check a DRAT proof against a formula.
+
+    Raises :class:`DratError` on the first invalid step.  With
+    ``require_empty`` the proof must contain (or derive) the empty
+    clause, i.e. certify unsatisfiability.
+    """
+    clauses: List[Optional[Tuple[int, ...]]] = [
+        tuple(c.literals) for c in cnf.clauses
+    ]
+    index: Dict[frozenset, List[int]] = {}
+    for i, clause in enumerate(clauses):
+        index.setdefault(frozenset(clause), []).append(i)
+
+    derived_empty = any(not c for c in clauses)
+    for step_no, (kind, lits) in enumerate(parse_proof(proof_text), start=1):
+        if kind == "d":
+            key = frozenset(lits)
+            slots = index.get(key)
+            if not slots:
+                # Deleting an unknown clause is harmless (checkers warn);
+                # we tolerate it to match drat-trim's default behaviour.
+                continue
+            clauses[slots.pop()] = None
+            continue
+        if not lits:
+            derived_empty = True
+            if not _is_rup(clauses, ()):
+                raise DratError(f"step {step_no}: empty clause is not RUP")
+            continue
+        if not _is_rup(clauses, lits):
+            raise DratError(f"step {step_no}: clause {list(lits)} is not RUP")
+        clauses.append(tuple(lits))
+        index.setdefault(frozenset(lits), []).append(len(clauses) - 1)
+        if len(lits) == 0:
+            derived_empty = True
+
+    if require_empty and not derived_empty:
+        raise DratError("proof does not derive the empty clause")
+    return True

@@ -1,0 +1,76 @@
+"""DRAT proof logging.
+
+Records every learned-clause addition and every clause deletion in the
+DRAT format accepted by standard proof checkers (``drat-trim``).  The
+solver emits additions as the clause is learned and deletions as clauses
+are garbage-collected, so an UNSAT answer comes with a checkable
+certificate — the completeness property the paper stresses that
+end-to-end neural solvers lack.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.solver.types import decode
+
+
+class ProofLog:
+    """In-memory or file-backed DRAT trace."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self._buffer: Optional[io.StringIO]
+        self._file = None
+        if path is None:
+            self._buffer = io.StringIO()
+        else:
+            self._buffer = None
+            self._file = open(path, "w")
+        self.additions = 0
+        self.deletions = 0
+
+    def _write(self, line: str) -> None:
+        if self._buffer is not None:
+            self._buffer.write(line)
+        else:
+            assert self._file is not None
+            self._file.write(line)
+
+    def add_clause(self, internal_lits: Iterable[int]) -> None:
+        """Log a learned clause (internal literal encoding)."""
+        lits = " ".join(str(decode(lit)) for lit in internal_lits)
+        self._write(f"{lits} 0\n" if lits else "0\n")
+        self.additions += 1
+
+    def delete_clause(self, internal_lits: Iterable[int]) -> None:
+        """Log a clause deletion."""
+        lits = " ".join(str(decode(lit)) for lit in internal_lits)
+        self._write(f"d {lits} 0\n")
+        self.deletions += 1
+
+    def add_empty_clause(self) -> None:
+        """Log the final empty clause terminating an UNSAT proof."""
+        self._write("0\n")
+        self.additions += 1
+
+    def text(self) -> str:
+        """The proof so far (in-memory logs only)."""
+        if self._buffer is None:
+            raise RuntimeError("proof is file-backed; read the file instead")
+        return self._buffer.getvalue()
+
+    def lines(self) -> List[str]:
+        return [line for line in self.text().splitlines() if line]
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "ProofLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,102 @@
+"""Clause-database reduction (the deletion phase of Figure 2).
+
+Scheduling follows Kissat's shape: a reduction triggers once the number
+of conflicts crosses a limit that grows with each round, so reductions
+get rarer as the database matures.  At each round:
+
+1. clauses that currently act as reasons on the trail are protected;
+2. "non-reducible" learned clauses (glue <= keep_glue) and binaries are
+   protected (handled by :meth:`ClauseDatabase.reducible_clauses`);
+3. recently *used* clauses (bumped in conflict analysis since the last
+   round) get one round of grace and their flag is cleared;
+4. the remaining candidates are scored by the active
+   :class:`~repro.policies.base.DeletionPolicy` and the lowest-scoring
+   ``target_fraction`` are deleted;
+5. per-variable propagation-frequency counters reset (Sec. 3.1: "since
+   the last deletion").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.policies.base import DeletionPolicy
+from repro.solver.assignment import Trail
+from repro.solver.clause_db import ClauseDatabase, SolverClause
+from repro.solver.propagate import Propagator
+from repro.solver.statistics import SolverStatistics
+from repro.solver.watchers import WatchLists
+
+
+class ReduceScheduler:
+    """Decides *when* to reduce and performs the reduction."""
+
+    def __init__(
+        self,
+        clause_db: ClauseDatabase,
+        trail: Trail,
+        watches: WatchLists,
+        propagator: Propagator,
+        stats: SolverStatistics,
+        policy: DeletionPolicy,
+        interval: int = 300,
+        interval_growth: int = 100,
+        target_fraction: float = 0.5,
+        protect_used: bool = True,
+    ):
+        if not 0.0 < target_fraction <= 1.0:
+            raise ValueError("target_fraction must be in (0, 1]")
+        self.clause_db = clause_db
+        self.trail = trail
+        self.watches = watches
+        self.propagator = propagator
+        self.stats = stats
+        self.policy = policy
+        self.interval = interval
+        self.interval_growth = interval_growth
+        self.target_fraction = target_fraction
+        self.protect_used = protect_used
+        self._limit = interval
+        self._rounds = 0
+
+    def should_reduce(self) -> bool:
+        return self.stats.conflicts >= self._limit
+
+    def reduce(self) -> int:
+        """Run one reduction round; returns the number of clauses deleted."""
+        self._rounds += 1
+        self._limit = self.stats.conflicts + self.interval + (
+            self.interval_growth * self._rounds
+        )
+        self.stats.reductions += 1
+
+        frequency = self.propagator.frequency
+        max_frequency = self.propagator.max_frequency()
+        self.policy.begin_round(frequency, max_frequency)
+
+        candidates: List[SolverClause] = []
+        for clause in self.clause_db.reducible_clauses():
+            if self.trail.is_reason(clause):
+                continue
+            if self.protect_used and clause.used:
+                clause.used = False  # one round of grace, then fair game
+                continue
+            candidates.append(clause)
+
+        deleted = 0
+        if candidates:
+            candidates.sort(
+                key=lambda c: self.policy.score(c, frequency, max_frequency)
+            )
+            num_delete = int(len(candidates) * self.target_fraction)
+            for clause in candidates[:num_delete]:
+                self.clause_db.mark_garbage(clause)
+                deleted += 1
+            if deleted:
+                self.watches.detach_garbage()
+                self.clause_db.sweep()
+
+        self.stats.deleted_clauses += deleted
+        # Eq. (2) counts propagations "since the last clause deletion".
+        self.propagator.reset_frequencies()
+        return deleted

@@ -1,0 +1,479 @@
+"""The CDCL solver: orchestration of all engine components.
+
+Implements the loop of Figure 2: decide -> propagate -> (conflict?
+analyze + learn + backjump : extend) with clause deletion, restarts, and
+budgets.  The clause-deletion policy is pluggable — exactly the decision
+point the paper's selector targets.
+
+Typical use::
+
+    from repro.cnf import random_ksat
+    from repro.solver import Solver
+    from repro.policies import FrequencyPolicy
+
+    cnf = random_ksat(100, 420, seed=7)
+    result = Solver(cnf, policy=FrequencyPolicy()).solve(max_conflicts=50_000)
+    if result.status is Status.SATISFIABLE:
+        assert cnf.check_model(result.model)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cnf.formula import CNF
+from repro.policies.base import DeletionPolicy
+from repro.policies.default_policy import DefaultPolicy
+from repro.solver.analyze import ConflictAnalyzer
+from repro.solver.assignment import Trail
+from repro.solver.clause_db import ClauseDatabase
+from repro.solver.decide import Decider
+from repro.solver.vmtf import VMTFDecider
+from repro.solver.proof import ProofLog
+from repro.solver.propagate import Propagator
+from repro.solver.reduce import ReduceScheduler
+from repro.solver.restart import EMARestarts, LubyRestarts, SwitchingRestarts
+from repro.solver.statistics import SolverStatistics
+from repro.solver.types import FALSE, TRUE, UNASSIGNED, Model, Status, encode
+from repro.solver.watchers import WatchLists
+
+
+@dataclass
+class SolverConfig:
+    """Tunable solver parameters (defaults follow Kissat's shape)."""
+
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    initial_phase: bool = True
+    decision_heuristic: str = "vsids"  # "vsids" | "vmtf"
+    restart_mode: str = "luby"  # "luby" | "ema" | "switching" | "none"
+    luby_base: int = 100
+    keep_glue: int = 2  # learned clauses at/below are non-reducible
+    reduce_interval: int = 300
+    reduce_interval_growth: int = 100
+    reduce_fraction: float = 0.5
+    protect_used: bool = True
+    # Rephasing: every `rephase_interval` conflicts, reset saved phases,
+    # cycling best -> inverted -> best -> original (0 disables).
+    rephase_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.restart_mode not in ("luby", "ema", "switching", "none"):
+            raise ValueError(f"unknown restart mode {self.restart_mode!r}")
+        if self.decision_heuristic not in ("vsids", "vmtf"):
+            raise ValueError(
+                f"unknown decision heuristic {self.decision_heuristic!r}"
+            )
+
+
+@dataclass
+class SolveResult:
+    """Outcome of :meth:`Solver.solve`."""
+
+    status: Status
+    model: Optional[Model] = None
+    stats: SolverStatistics = field(default_factory=SolverStatistics)
+    policy_name: str = "default"
+    #: For UNSAT-under-assumptions answers: the subset of the assumption
+    #: literals (DIMACS encoding) that already suffices for
+    #: unsatisfiability.  None for plain UNSAT or non-UNSAT results.
+    core: Optional[List[int]] = None
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SATISFIABLE
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSATISFIABLE
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is Status.UNKNOWN
+
+
+class _NoRestarts:
+    """Restart policy stub that never restarts."""
+
+    def on_conflict(self, glue: int) -> None:
+        pass
+
+    def should_restart(self) -> bool:
+        return False
+
+    def on_restart(self) -> None:
+        pass
+
+
+class Solver:
+    """Conflict-driven clause-learning SAT solver with pluggable deletion."""
+
+    def __init__(
+        self,
+        cnf: CNF,
+        policy: Optional[DeletionPolicy] = None,
+        config: Optional[SolverConfig] = None,
+        proof: Optional[ProofLog] = None,
+    ):
+        self.cnf = cnf
+        self.config = config or SolverConfig()
+        self.policy = policy or DefaultPolicy()
+        self.proof = proof
+
+        num_vars = cnf.num_vars
+        self.stats = SolverStatistics()
+        self.trail = Trail(num_vars)
+        self.watches = WatchLists(num_vars)
+        self.clause_db = ClauseDatabase(keep_glue=self.config.keep_glue)
+        self.clause_db.clause_decay = self.config.clause_decay
+        self.propagator = Propagator(self.trail, self.watches, self.stats)
+        if self.config.decision_heuristic == "vmtf":
+            self.decider = VMTFDecider(
+                self.trail, initial_phase=self.config.initial_phase
+            )
+        else:
+            self.decider = Decider(
+                self.trail,
+                decay=self.config.var_decay,
+                initial_phase=self.config.initial_phase,
+            )
+        self.analyzer = ConflictAnalyzer(
+            self.trail, self.clause_db, self.stats, self.decider.bump
+        )
+        self.reducer = ReduceScheduler(
+            self.clause_db,
+            self.trail,
+            self.watches,
+            self.propagator,
+            self.stats,
+            self.policy,
+            interval=self.config.reduce_interval,
+            interval_growth=self.config.reduce_interval_growth,
+            target_fraction=self.config.reduce_fraction,
+            protect_used=self.config.protect_used,
+        )
+        if self.config.restart_mode == "luby":
+            self.restarts = LubyRestarts(base=self.config.luby_base)
+        elif self.config.restart_mode == "ema":
+            self.restarts = EMARestarts()
+        elif self.config.restart_mode == "switching":
+            self.restarts = SwitchingRestarts(luby_base=self.config.luby_base)
+        else:
+            self.restarts = _NoRestarts()
+        self._rephase_limit = self.config.rephase_interval or 0
+        self._rephase_cycle = 0
+
+        # True once the formula is known UNSAT regardless of assumptions.
+        self._inconsistent = False
+        # Copy-on-write flag: the caller's CNF is never mutated by
+        # incremental add_clause.
+        self._owns_cnf = False
+        self._ingest_clauses()
+
+    # -- setup -------------------------------------------------------------
+
+    def _ingest_clauses(self) -> None:
+        """Load original clauses: dedupe literals, drop tautologies,
+        enqueue units at level 0, and detect the empty clause."""
+        for clause in self.cnf.clauses:
+            if clause.is_tautology():
+                continue
+            lits = [encode(lit) for lit in clause.literals]
+            if not lits:
+                self._mark_inconsistent()
+                return
+            if len(lits) == 1:
+                value = self.trail.value_lit(lits[0])
+                if value == FALSE:
+                    self._mark_inconsistent()
+                    return
+                if value == UNASSIGNED:
+                    self.trail.assign(lits[0], None)
+                continue
+            solver_clause = self.clause_db.add_original(lits)
+            self.watches.attach(solver_clause)
+
+    def _mark_inconsistent(self) -> None:
+        """Record global unsatisfiability, emitting the proof's empty clause."""
+        if not self._inconsistent:
+            self._inconsistent = True
+            if self.proof is not None:
+                self.proof.add_empty_clause()
+
+    # -- incremental interface -----------------------------------------------
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause between ``solve()`` calls (incremental solving).
+
+        Literals use DIMACS encoding and must stay within the variable
+        range fixed at construction.  Learned clauses and heuristic state
+        survive, so repeated solve/add cycles amortize earlier work.  The
+        solver keeps its own copy of the formula: the ``CNF`` passed to
+        the constructor is never mutated.
+        """
+        clause_lits = []
+        seen = set()
+        for lit in literals:
+            lit = int(lit)
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            if abs(lit) > self.trail.num_vars:
+                raise ValueError(
+                    f"variable {abs(lit)} exceeds the solver's range "
+                    f"({self.trail.num_vars}); declare all variables up front"
+                )
+            if lit not in seen:
+                seen.add(lit)
+                clause_lits.append(lit)
+        if not self._owns_cnf:
+            self.cnf = self.cnf.copy()
+            self._owns_cnf = True
+        self.cnf.add_clause(clause_lits)
+
+        if any(-lit in seen for lit in seen):
+            return  # tautology: no effect
+        self._backtrack(0)
+        encoded = [encode(lit) for lit in clause_lits]
+        if not encoded:
+            self._mark_inconsistent()
+            return
+        # Drop level-0-false literals; detect satisfaction at level 0.
+        remaining = []
+        for lit in encoded:
+            value = self.trail.value_lit(lit)
+            if value == TRUE:
+                return  # already satisfied forever
+            if value == UNASSIGNED:
+                remaining.append(lit)
+        if not remaining:
+            self._mark_inconsistent()
+            return
+        if len(remaining) == 1:
+            self.trail.assign(remaining[0], None)
+            if self.propagator.propagate() is not None:
+                self._mark_inconsistent()
+            return
+        solver_clause = self.clause_db.add_original(remaining)
+        self.watches.attach(solver_clause)
+
+    # -- learned clause installation ------------------------------------------
+
+    def _install_learned(self, lits: List[int], glue: int) -> None:
+        """Attach a learned clause and assert its first literal."""
+        self.stats.learned_clauses += 1
+        self.stats.learned_literals += len(lits)
+        self.stats.glue_sum += glue
+        if self.proof is not None:
+            self.proof.add_clause(lits)
+        if len(lits) == 1:
+            self.trail.assign(lits[0], None)
+            return
+        clause = self.clause_db.add_learned(lits, glue)
+        self.watches.attach(clause)
+        self.trail.assign(lits[0], clause)
+
+    def _backtrack(self, level: int) -> None:
+        """Backtrack with phase saving and decision-queue maintenance."""
+        undone = self.trail.backtrack(level)
+        saved = self.decider.saved_phase
+        requeue = self.decider.requeue
+        for lit in undone:
+            var = lit >> 1
+            saved[var] = (lit & 1) == 0
+            requeue(var)
+
+    # -- main loop ----------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        max_propagations: Optional[int] = None,
+        max_decisions: Optional[int] = None,
+    ) -> SolveResult:
+        """Run CDCL search until SAT, UNSAT, or a budget is exhausted.
+
+        ``assumptions`` are DIMACS literals decided first (in order); an
+        UNSAT answer then means "unsatisfiable under these assumptions".
+        Budgets are absolute counter values, making repeated calls with
+        the same limits idempotent in effort.
+        """
+        if self._inconsistent:
+            return self._result(Status.UNSATISFIABLE)
+        # Incremental reuse: drop any search state left by a previous call
+        # (level-0 assignments and learned clauses are kept — they are
+        # consequences of the formula, not of old assumptions).
+        self._backtrack(0)
+        assumed = [encode(lit) for lit in assumptions]
+        for lit in assumed:
+            if (lit >> 1) > self.trail.num_vars:
+                raise ValueError(f"assumption on unknown variable {lit >> 1}")
+
+        # Level-0 closure of the original units.
+        conflict = self.propagator.propagate()
+        if conflict is not None:
+            self._mark_inconsistent()
+            return self._result(Status.UNSATISFIABLE)
+
+        while True:
+            conflict = self.propagator.propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if self.trail.decision_level == 0:
+                    self._mark_inconsistent()
+                    return self._result(Status.UNSATISFIABLE)
+                learned, backjump, glue = self.analyzer.analyze(conflict)
+                self.restarts.on_conflict(glue)
+                self._backtrack(backjump)
+                self._install_learned(learned, glue)
+                self.decider.decay_activities()
+                self.clause_db.decay_clause_activities()
+                continue
+
+            if self._budget_exhausted(max_conflicts, max_propagations, max_decisions):
+                return self._result(Status.UNKNOWN)
+
+            if self.reducer.should_reduce():
+                self._delete_with_proof(self.reducer.reduce)
+
+            if self.restarts.should_restart() and self.trail.decision_level > 0:
+                self.stats.restarts += 1
+                self.restarts.on_restart()
+                self._backtrack(0)
+                continue
+
+            # Re-decide any assumption not yet on the trail.
+            decision = self._next_assumption(assumed)
+            if decision == -1:
+                failed = next(
+                    lit for lit in assumed if self.trail.value_lit(lit) == FALSE
+                )
+                core = self._analyze_final(failed, assumed)
+                result = self._result(Status.UNSATISFIABLE)
+                result.core = core
+                return result
+            if decision is None:
+                decision = self.decider.pick_branch_literal()
+                if decision is None:
+                    return self._sat_result()
+            self.stats.decisions += 1
+            self.trail.new_decision_level()
+            self.trail.assign(decision, None)
+            if len(self.trail.trail) > self.stats.max_trail:
+                self.stats.max_trail = len(self.trail.trail)
+                self.decider.snapshot_best_phases()
+            self._maybe_rephase()
+
+    def _analyze_final(self, failed_lit: int, assumed: List[int]) -> List[int]:
+        """Compute a failed-assumption core (MiniSat's ``analyzeFinal``).
+
+        ``failed_lit`` is an assumption literal currently assigned false.
+        Walking the implication graph from it back to decisions yields
+        the subset of assumptions whose conjunction is already
+        unsatisfiable with the formula.  Level-0 assignments are formula
+        consequences and never enter the core.
+        """
+        from repro.solver.types import decode
+
+        assumed_set = set(assumed)
+        core = [decode(failed_lit)]
+        seen = [False] * (self.trail.num_vars + 1)
+        seen[failed_lit >> 1] = True
+        # Walk the trail backwards, expanding reasons of marked variables.
+        for lit in reversed(self.trail.trail):
+            var = lit >> 1
+            if not seen[var]:
+                continue
+            if self.trail.levels[var] == 0:
+                continue
+            reason = self.trail.reasons[var]
+            if reason is None:
+                # A decision: by construction only assumptions are decided
+                # while an assumption is still unassigned.
+                if lit in assumed_set or (lit ^ 1) in assumed_set:
+                    core.append(decode(lit if lit in assumed_set else lit ^ 1))
+                continue
+            for other in reason.lits:
+                seen[other >> 1] = True
+        return core
+
+    def _maybe_rephase(self) -> None:
+        """Periodically reset saved phases (Kissat's rephasing)."""
+        if not self.config.rephase_interval:
+            return
+        if self.stats.conflicts < self._rephase_limit:
+            return
+        self._rephase_limit = self.stats.conflicts + self.config.rephase_interval
+        styles = ("best", "inverted", "best", "original")
+        style = styles[self._rephase_cycle % len(styles)]
+        self._rephase_cycle += 1
+        self.decider.rephase(style, initial_phase=self.config.initial_phase)
+
+    def _next_assumption(self, assumed: List[int]) -> Optional[int]:
+        """Next unsatisfied assumption literal; -1 when one is falsified."""
+        for lit in assumed:
+            value = self.trail.value_lit(lit)
+            if value == FALSE:
+                return -1
+            if value == UNASSIGNED:
+                return lit
+        return None
+
+    def _delete_with_proof(self, reduce_fn) -> None:
+        """Run a reduction, mirroring deletions into the DRAT log."""
+        if self.proof is None:
+            reduce_fn()
+            return
+        live_before = {id(c): c for c in self.clause_db.live_learned()}
+        reduce_fn()
+        live_after = {id(c) for c in self.clause_db.live_learned()}
+        for cid, clause in live_before.items():
+            if cid not in live_after:
+                self.proof.delete_clause(clause.lits)
+
+    def _budget_exhausted(
+        self,
+        max_conflicts: Optional[int],
+        max_propagations: Optional[int],
+        max_decisions: Optional[int],
+    ) -> bool:
+        if max_conflicts is not None and self.stats.conflicts >= max_conflicts:
+            return True
+        if max_propagations is not None and self.stats.propagations >= max_propagations:
+            return True
+        if max_decisions is not None and self.stats.decisions >= max_decisions:
+            return True
+        return False
+
+    def _sat_result(self) -> SolveResult:
+        model = self.trail.model()
+        # Unconstrained variables default to the configured phase.
+        for var in range(1, self.trail.num_vars + 1):
+            if model[var] is None:
+                model[var] = self.config.initial_phase
+        assert self.cnf.check_model(model), "internal error: bogus model"
+        return SolveResult(
+            status=Status.SATISFIABLE,
+            model=model,
+            stats=self.stats,
+            policy_name=self.policy.name,
+        )
+
+    def _result(self, status: Status) -> SolveResult:
+        return SolveResult(
+            status=status,
+            model=None,
+            stats=self.stats,
+            policy_name=self.policy.name,
+        )
+
+
+def solve(
+    cnf: CNF,
+    policy: Optional[DeletionPolicy] = None,
+    config: Optional[SolverConfig] = None,
+    **budgets: Optional[int],
+) -> SolveResult:
+    """One-shot convenience wrapper around :class:`Solver`."""
+    return Solver(cnf, policy=policy, config=config).solve(**budgets)

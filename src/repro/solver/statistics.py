@@ -1,0 +1,62 @@
+"""Solver statistics counters.
+
+``propagations`` doubles as the deterministic effort measure used
+throughout the evaluation harness (the paper labels its training data by
+propagation counts for the same reason — CPU time is noisy, Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict
+
+
+@dataclass
+class SolverStatistics:
+    """Mutable counters updated by the solving loop."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    reductions: int = 0
+    learned_clauses: int = 0
+    learned_literals: int = 0
+    deleted_clauses: int = 0
+    minimized_literals: int = 0
+    max_trail: int = 0
+    glue_sum: int = 0
+
+    def mean_glue(self) -> float:
+        """Average LBD of learned clauses so far (0 when none learned)."""
+        if self.learned_clauses == 0:
+            return 0.0
+        return self.glue_sum / self.learned_clauses
+
+    def mean_learned_size(self) -> float:
+        """Average learned-clause length so far (0 when none learned)."""
+        if self.learned_clauses == 0:
+            return 0.0
+        return self.learned_literals / self.learned_clauses
+
+    def to_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(asdict(self))
+        out["mean_glue"] = self.mean_glue()
+        out["mean_learned_size"] = self.mean_learned_size()
+        return out
+
+    def reset(self) -> None:
+        for name in (
+            "decisions",
+            "propagations",
+            "conflicts",
+            "restarts",
+            "reductions",
+            "learned_clauses",
+            "learned_literals",
+            "deleted_clauses",
+            "minimized_literals",
+            "max_trail",
+            "glue_sum",
+        ):
+            setattr(self, name, 0)

@@ -1,0 +1,73 @@
+"""Core solver value types and literal encoding.
+
+Externally (DIMACS, :class:`repro.cnf.CNF`) a literal is a signed integer.
+Internally the solver packs literals into dense non-negative indices so
+every per-literal structure is a flat list:
+
+* variable ``v`` (1-based) has positive literal ``2*v`` and negative
+  literal ``2*v + 1``;
+* negation is ``lit ^ 1``; the variable is ``lit >> 1``; the sign test
+  ``lit & 1`` is 1 for negative literals.
+
+Indices 0 and 1 (variable 0) are unused padding so arrays can be indexed
+directly by the encoded literal.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+# Truth values for assignment arrays: small ints beat enums in the hot loop.
+TRUE = 1
+FALSE = 0
+UNASSIGNED = -1
+
+
+def encode(dimacs_lit: int) -> int:
+    """DIMACS literal -> internal literal index."""
+    if dimacs_lit == 0:
+        raise ValueError("0 is not a literal")
+    var = abs(dimacs_lit)
+    return 2 * var + (0 if dimacs_lit > 0 else 1)
+
+
+def decode(lit: int) -> int:
+    """Internal literal index -> DIMACS literal."""
+    var = lit >> 1
+    return var if (lit & 1) == 0 else -var
+
+
+def negate(lit: int) -> int:
+    """Negation of an internal literal."""
+    return lit ^ 1
+
+
+def variable_of(lit: int) -> int:
+    """Variable (1-based) of an internal literal."""
+    return lit >> 1
+
+
+def is_positive(lit: int) -> bool:
+    """True for the positive polarity of an internal literal."""
+    return (lit & 1) == 0
+
+
+def lit_sign_value(lit: int) -> int:
+    """Truth value that satisfies this literal (TRUE for positive)."""
+    return FALSE if (lit & 1) else TRUE
+
+
+class Status(enum.Enum):
+    """Outcome of a solve call."""
+
+    SATISFIABLE = "SATISFIABLE"
+    UNSATISFIABLE = "UNSATISFIABLE"
+    UNKNOWN = "UNKNOWN"
+
+    def __bool__(self) -> bool:
+        # Deliberately disabled: ``if result.status`` is ambiguous.
+        raise TypeError("Status has no truth value; compare explicitly")
+
+
+Model = List[Optional[bool]]

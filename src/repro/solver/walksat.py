@@ -1,0 +1,142 @@
+"""WalkSAT local search.
+
+An incomplete stochastic solver: start from a random assignment and
+repeatedly repair an unsatisfied clause by flipping one of its
+variables — either the "greedy" choice (minimal break count, the number
+of currently satisfied clauses the flip would falsify) or, with
+probability ``noise``, a uniformly random one.
+
+Two roles here:
+
+* a standalone incomplete solver (finds models of satisfiable
+  instances quickly, never proves UNSAT) — the regime of the local
+  search solvers the paper cites (e.g. NLocalSAT);
+* a phase source: the best assignment found can seed the CDCL solver's
+  saved phases (``Decider.save_phase``), the "walking" flavour of
+  Kissat's rephasing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cnf.formula import CNF
+
+
+@dataclass
+class WalkSATResult:
+    """Outcome of a WalkSAT run."""
+
+    satisfied: bool
+    model: Optional[List[Optional[bool]]]
+    best_assignment: List[bool]  # best (fewest unsatisfied) seen, 1-indexed tail
+    best_unsatisfied: int
+    flips: int
+
+    @property
+    def phases(self) -> List[bool]:
+        """Best assignment as a phase vector (index 0 unused)."""
+        return self.best_assignment
+
+
+class WalkSAT:
+    """Configurable WalkSAT engine over one formula."""
+
+    def __init__(self, cnf: CNF, noise: float = 0.5, seed: int = 0):
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self.cnf = cnf
+        self.noise = noise
+        self.rng = random.Random(seed)
+        self.clauses: List[Tuple[int, ...]] = [
+            c.literals for c in cnf.clauses if not c.is_tautology()
+        ]
+        self.num_vars = cnf.num_vars
+        # Occurrence lists: for each literal, clauses containing it.
+        self.occurrences: List[List[int]] = [[] for _ in range(2 * (cnf.num_vars + 1))]
+        for idx, clause in enumerate(self.clauses):
+            for lit in clause:
+                self.occurrences[_code(lit)].append(idx)
+
+    # -- state helpers -----------------------------------------------------
+
+    def _true_counts(self, assignment: List[bool]) -> List[int]:
+        counts = []
+        for clause in self.clauses:
+            counts.append(
+                sum(1 for lit in clause if assignment[abs(lit)] == (lit > 0))
+            )
+        return counts
+
+    def _break_count(
+        self, var: int, assignment: List[bool], true_counts: List[int]
+    ) -> int:
+        """Clauses that would become unsatisfied by flipping ``var``."""
+        # Clauses currently satisfied only by var's literal break.
+        lit = var if assignment[var] else -var
+        return sum(1 for idx in self.occurrences[_code(lit)] if true_counts[idx] == 1)
+
+    def _flip(
+        self, var: int, assignment: List[bool], true_counts: List[int]
+    ) -> None:
+        old_lit = var if assignment[var] else -var
+        assignment[var] = not assignment[var]
+        for idx in self.occurrences[_code(old_lit)]:
+            true_counts[idx] -= 1
+        new_lit = var if assignment[var] else -var
+        for idx in self.occurrences[_code(new_lit)]:
+            true_counts[idx] += 1
+
+    # -- search ---------------------------------------------------------------
+
+    def solve(self, max_flips: int = 100_000, restarts: int = 1) -> WalkSATResult:
+        """Run local search; returns the best assignment found."""
+        if any(not c for c in self.clauses):
+            return WalkSATResult(False, None, [True] * (self.num_vars + 1), len(self.clauses), 0)
+        best_assignment = [True] * (self.num_vars + 1)
+        best_unsat = len(self.clauses) + 1
+        total_flips = 0
+
+        for _ in range(max(1, restarts)):
+            assignment = [True] + [
+                self.rng.random() < 0.5 for _ in range(self.num_vars)
+            ]
+            true_counts = self._true_counts(assignment)
+            for _ in range(max_flips):
+                unsatisfied = [i for i, c in enumerate(true_counts) if c == 0]
+                if len(unsatisfied) < best_unsat:
+                    best_unsat = len(unsatisfied)
+                    best_assignment = list(assignment)
+                if not unsatisfied:
+                    model: List[Optional[bool]] = [None] + assignment[1:]
+                    assert self.cnf.check_model(model)
+                    return WalkSATResult(
+                        True, model, list(assignment), 0, total_flips
+                    )
+                clause = self.clauses[self.rng.choice(unsatisfied)]
+                variables = [abs(lit) for lit in clause]
+                if self.rng.random() < self.noise:
+                    var = self.rng.choice(variables)
+                else:
+                    var = min(
+                        variables,
+                        key=lambda v: self._break_count(v, assignment, true_counts),
+                    )
+                self._flip(var, assignment, true_counts)
+                total_flips += 1
+
+        return WalkSATResult(False, None, best_assignment, best_unsat, total_flips)
+
+
+def _code(lit: int) -> int:
+    """Literal -> occurrence-list index (positive 2v, negative 2v+1)."""
+    var = abs(lit)
+    return 2 * var + (0 if lit > 0 else 1)
+
+
+def walksat_phases(cnf: CNF, max_flips: int = 20_000, seed: int = 0) -> List[bool]:
+    """Best local-search assignment, as a phase vector for CDCL seeding."""
+    result = WalkSAT(cnf, seed=seed).solve(max_flips=max_flips)
+    return result.phases

@@ -1,0 +1,43 @@
+"""Two-watched-literal index.
+
+``watches[lit]`` lists the clauses currently watching internal literal
+``lit``.  The propagator visits ``watches[neg(l)]`` when ``l`` becomes
+true, relocating watches so that a clause is only ever touched when it
+might propagate or conflict — the key to sub-quadratic BCP.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.solver.clause_db import SolverClause
+
+
+class WatchLists:
+    """Per-literal watcher lists, indexed by internal literal."""
+
+    def __init__(self, num_vars: int):
+        self.watches: List[List[SolverClause]] = [
+            [] for _ in range(2 * (num_vars + 1))
+        ]
+
+    def watch(self, lit: int, clause: SolverClause) -> None:
+        self.watches[lit].append(clause)
+
+    def watchers_of(self, lit: int) -> List[SolverClause]:
+        return self.watches[lit]
+
+    def attach(self, clause: SolverClause) -> None:
+        """Watch the first two literals of a clause (length >= 2)."""
+        assert len(clause.lits) >= 2, "unit/empty clauses are not watched"
+        self.watches[clause.lits[0]].append(clause)
+        self.watches[clause.lits[1]].append(clause)
+
+    def detach_garbage(self) -> None:
+        """Drop garbage clauses from every watch list (bulk sweep)."""
+        for i, lst in enumerate(self.watches):
+            if any(c.garbage for c in lst):
+                self.watches[i] = [c for c in lst if not c.garbage]
+
+    def total_watches(self) -> int:
+        return sum(len(lst) for lst in self.watches)

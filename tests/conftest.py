@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf import CNF, pigeonhole, random_ksat
+from repro.selection.dataset import LabeledInstance
+from repro.selection.labeling import PolicyComparison
+from repro.solver.types import Status
+
+
+@pytest.fixture
+def simple_sat_cnf() -> CNF:
+    """(x1 | x2) & (~x2 | x3) & (~x1 | ~x3) — satisfiable."""
+    return CNF([[1, 2], [-2, 3], [-1, -3]])
+
+
+@pytest.fixture
+def simple_unsat_cnf() -> CNF:
+    """All four sign patterns over two variables — unsatisfiable."""
+    return CNF([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+
+
+@pytest.fixture
+def php3() -> CNF:
+    return pigeonhole(3)
+
+
+@pytest.fixture
+def medium_sat_cnf() -> CNF:
+    """Random 3-SAT instance known (by construction check) to be SAT."""
+    return random_ksat(30, 110, seed=5)
+
+
+def make_labeled(cnf: CNF, label: int, year: int = 2022, family: str = "test") -> LabeledInstance:
+    """Construct a LabeledInstance without running the solver."""
+    comparison = PolicyComparison(
+        default_result_status=Status.SATISFIABLE,
+        frequency_result_status=Status.SATISFIABLE,
+        default_propagations=1000,
+        frequency_propagations=900 if label else 1000,
+        label=label,
+    )
+    return LabeledInstance(cnf=cnf, year=year, family=family, comparison=comparison)

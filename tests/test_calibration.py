@@ -1,0 +1,98 @@
+"""Tests for decision-threshold calibration of the trainer."""
+
+import pytest
+
+from repro.cnf import CNF, random_ksat
+from repro.models import NeuroSelect
+from repro.selection import Trainer
+from repro.selection.dataset import LabeledInstance
+from repro.selection.labeling import PolicyComparison
+from repro.solver import Status
+
+
+def make_instance(cnf, label, default_props, frequency_props):
+    comparison = PolicyComparison(
+        default_result_status=Status.SATISFIABLE,
+        frequency_result_status=Status.SATISFIABLE,
+        default_propagations=default_props,
+        frequency_propagations=frequency_props,
+        label=label,
+    )
+    return LabeledInstance(cnf=cnf, year=2020, family="test", comparison=comparison)
+
+
+@pytest.fixture
+def instances():
+    cnfs = [random_ksat(10, 30, seed=s) for s in range(6)]
+    # Three instances where frequency saves a lot, three where it loses.
+    return [
+        make_instance(cnfs[0], 1, 10_000, 5_000),
+        make_instance(cnfs[1], 1, 8_000, 6_000),
+        make_instance(cnfs[2], 1, 9_000, 7_000),
+        make_instance(cnfs[3], 0, 5_000, 9_000),
+        make_instance(cnfs[4], 0, 6_000, 8_000),
+        make_instance(cnfs[5], 0, 7_000, 7_500),
+    ]
+
+
+class TestCalibration:
+    def test_invalid_mode_rejected(self, instances):
+        trainer = Trainer(NeuroSelect(hidden_dim=8, seed=0), epochs=1)
+        with pytest.raises(ValueError):
+            trainer.calibrate_threshold(instances, mode="bogus")
+
+    def test_threshold_stored_on_model(self, instances):
+        model = NeuroSelect(hidden_dim=8, seed=0)
+        trainer = Trainer(model, epochs=1)
+        threshold = trainer.calibrate_threshold(instances, mode="f1")
+        assert model.decision_threshold == threshold
+
+    def test_effort_mode_beats_all_default_when_model_separates(self, instances):
+        """After overfitting the labels, effort calibration must recover at
+        least the savings of the perfect selector on the train set."""
+        model = NeuroSelect(hidden_dim=8, seed=0)
+        trainer = Trainer(model, learning_rate=5e-3, epochs=60)
+        trainer.fit(instances)
+        trainer.calibrate_threshold(instances, mode="effort")
+        chosen_savings = sum(
+            inst.comparison.default_propagations
+            - inst.comparison.frequency_propagations
+            for inst in instances
+            if model.predict(inst.cnf, threshold=trainer.threshold) == 1
+        )
+        # Perfect selection on these instances saves 5000+2000+2000.
+        assert chosen_savings == 9_000
+
+    def test_effort_mode_degenerates_gracefully(self):
+        # All savings zero -> neutral threshold.
+        cnf = CNF([[1, 2]])
+        flat = [make_instance(cnf, 0, 100, 100)]
+        trainer = Trainer(NeuroSelect(hidden_dim=8, seed=0), epochs=1)
+        assert trainer.calibrate_threshold(flat, mode="effort") == 0.5
+
+    def test_f1_mode_single_class(self):
+        cnf = CNF([[1, 2]])
+        flat = [make_instance(cnf, 0, 100, 100)]
+        trainer = Trainer(NeuroSelect(hidden_dim=8, seed=0), epochs=1)
+        assert trainer.calibrate_threshold(flat, mode="f1") == 0.5
+
+    def test_effort_can_choose_all_or_nothing(self, instances):
+        """An untrained (uninformative) model still gets an optimal
+        all-or-nothing threshold: whichever of 'always default' /
+        'always frequency' saves more."""
+        model = NeuroSelect(hidden_dim=8, seed=1)
+        trainer = Trainer(model, epochs=1)
+        trainer.calibrate_threshold(instances, mode="effort")
+        total_saving = sum(
+            inst.comparison.default_propagations
+            - inst.comparison.frequency_propagations
+            for inst in instances
+        )
+        chosen_savings = sum(
+            inst.comparison.default_propagations
+            - inst.comparison.frequency_propagations
+            for inst in instances
+            if model.predict(inst.cnf, threshold=trainer.threshold) == 1
+        )
+        # Never worse than both trivial strategies.
+        assert chosen_savings >= max(0, total_saving)

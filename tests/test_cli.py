@@ -1,0 +1,164 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.cnf import CNF, parse_dimacs_file, write_dimacs_file
+from repro.solver import check_drat
+
+
+@pytest.fixture
+def sat_file(tmp_path):
+    path = tmp_path / "sat.cnf"
+    write_dimacs_file(CNF([[1, 2], [-2, 3], [-1, -3]]), path)
+    return str(path)
+
+
+@pytest.fixture
+def unsat_file(tmp_path):
+    path = tmp_path / "unsat.cnf"
+    write_dimacs_file(CNF([[1, 2], [1, -2], [-1, 2], [-1, -2]]), path)
+    return str(path)
+
+
+class TestSolve:
+    def test_sat_exit_code_and_vline(self, sat_file, capsys):
+        assert main(["solve", sat_file]) == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert out.splitlines()[1].startswith("v ")
+
+    def test_unsat_exit_code(self, unsat_file, capsys):
+        assert main(["solve", unsat_file]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_unknown_on_budget(self, tmp_path, capsys):
+        from repro.cnf import pigeonhole
+
+        path = tmp_path / "php.cnf"
+        write_dimacs_file(pigeonhole(7), path)
+        assert main(["solve", str(path), "--max-conflicts", "5"]) == 0
+        assert "s UNKNOWN" in capsys.readouterr().out
+
+    def test_proof_written_and_checks(self, unsat_file, tmp_path, capsys):
+        proof_path = tmp_path / "out.drat"
+        assert main(["solve", unsat_file, "--proof", str(proof_path)]) == 20
+        cnf = parse_dimacs_file(unsat_file)
+        assert check_drat(cnf, proof_path.read_text())
+
+    def test_assumptions(self, sat_file, capsys):
+        assert main(["solve", sat_file, "--assume", "1", "3"]) == 20
+
+    def test_with_preprocessing(self, sat_file, capsys):
+        assert main(["solve", sat_file, "--preprocess"]) == 10
+
+    def test_frequency_policy(self, sat_file, capsys):
+        assert main(["solve", sat_file, "--policy", "frequency"]) == 10
+
+
+class TestGenerate:
+    def test_generate_and_reload(self, tmp_path, capsys):
+        out = tmp_path / "gen.cnf"
+        code = main([
+            "generate", "random_ksat", "--out", str(out),
+            "--param", "num_vars=12", "--param", "num_clauses=40",
+            "--seed", "5",
+        ])
+        assert code == 0
+        cnf = parse_dimacs_file(out)
+        assert cnf.num_vars == 12
+        assert cnf.num_clauses == 40
+
+    def test_pigeonhole_no_seed_param(self, tmp_path):
+        out = tmp_path / "php.cnf"
+        assert main(["generate", "pigeonhole", "--out", str(out),
+                     "--param", "holes=3"]) == 0
+        assert parse_dimacs_file(out).num_vars == 12
+
+    def test_bad_param_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "random_ksat", "--out", str(tmp_path / "x.cnf"),
+                  "--param", "oops"])
+
+
+class TestFeaturesPreprocessLabel:
+    def test_features_lists_all(self, sat_file, capsys):
+        assert main(["features", sat_file]) == 0
+        out = capsys.readouterr().out
+        assert "num_vars" in out and "horn_fraction" in out
+
+    def test_preprocess_writes_simplified(self, tmp_path, capsys):
+        src = tmp_path / "in.cnf"
+        write_dimacs_file(CNF([[1], [-1, 2], [2, 3], [2, 3, 4]]), src)
+        out = tmp_path / "out.cnf"
+        assert main(["preprocess", str(src), "--out", str(out)]) == 0
+        simplified = parse_dimacs_file(out)
+        assert simplified.num_clauses < 4
+
+    def test_preprocess_detects_unsat(self, unsat_file, tmp_path, capsys):
+        code = main(["preprocess", unsat_file, "--out", str(tmp_path / "o.cnf")])
+        assert code == 20
+
+    def test_label_reports_policies(self, sat_file, capsys):
+        assert main(["label", sat_file, "--max-conflicts", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "default:" in out and "frequency:" in out and "label:" in out
+
+
+class TestTrainSelect:
+    def test_train_then_select(self, tmp_path, sat_file, capsys):
+        weights = tmp_path / "w.npz"
+        code = main([
+            "train", "--out", str(weights),
+            "--per-year", "1", "--epochs", "2",
+            "--hidden-dim", "8", "--label-budget", "200",
+        ])
+        assert code == 0
+        assert weights.exists()
+        code = main([
+            "select", sat_file, "--weights", str(weights), "--hidden-dim", "8",
+        ])
+        assert code == 10
+        out = capsys.readouterr().out
+        assert "policy:" in out
+
+
+class TestDatasetAndReport:
+    def test_dataset_build_and_reuse(self, tmp_path, capsys):
+        ds_path = tmp_path / "ds.json"
+        assert main(["dataset", "--out", str(ds_path),
+                     "--per-year", "1", "--label-budget", "200"]) == 0
+        assert ds_path.exists()
+        weights = tmp_path / "w.npz"
+        code = main([
+            "train", "--out", str(weights), "--dataset", str(ds_path),
+            "--epochs", "1", "--hidden-dim", "8",
+        ])
+        assert code == 0
+        assert weights.exists()
+
+    def test_report_command(self, capsys, monkeypatch, tmp_path):
+        import repro.bench.reporting as reporting
+
+        called = {}
+
+        def fake_build():
+            called["yes"] = True
+
+        monkeypatch.setattr(reporting, "build_experiments_md", fake_build)
+        assert main(["report"]) == 0
+        assert called
+
+
+class TestTrim:
+    def test_trim_unsat(self, unsat_file, tmp_path, capsys):
+        out = tmp_path / "trimmed.drat"
+        assert main(["trim", unsat_file, "--out", str(out)]) == 20
+        assert out.exists()
+        cnf = parse_dimacs_file(unsat_file)
+        assert check_drat(cnf, out.read_text())
+
+    def test_trim_sat_is_noop(self, sat_file, tmp_path, capsys):
+        out = tmp_path / "t.drat"
+        assert main(["trim", sat_file, "--out", str(out)]) == 0
+        assert not out.exists()

@@ -1,0 +1,89 @@
+"""Unit tests for DIMACS parsing and serialization."""
+
+import pytest
+
+from repro.cnf import CNF, parse_dimacs, parse_dimacs_file, to_dimacs, write_dimacs_file
+from repro.cnf.dimacs import DimacsError
+
+
+class TestParse:
+    def test_basic_document(self):
+        cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert cnf.num_vars == 3
+        assert cnf.num_clauses == 2
+        assert cnf.clauses[0].literals == (1, -2)
+
+    def test_comments_collected(self):
+        cnf = parse_dimacs("c hello\nc world\np cnf 1 1\n1 0\n")
+        assert cnf.comments == ["hello", "world"]
+
+    def test_clause_spanning_lines(self):
+        cnf = parse_dimacs("p cnf 4 1\n1 2\n3 4 0\n")
+        assert cnf.clauses[0].literals == (1, 2, 3, 4)
+
+    def test_multiple_clauses_one_line(self):
+        cnf = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert cnf.num_clauses == 2
+
+    def test_missing_header_lenient(self):
+        cnf = parse_dimacs("1 2 0\n")
+        assert cnf.num_vars == 2
+
+    def test_missing_header_strict_raises(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n", strict=True)
+
+    def test_clause_count_mismatch_strict(self):
+        with pytest.raises(DimacsError, match="declares"):
+            parse_dimacs("p cnf 2 5\n1 0\n", strict=True)
+
+    def test_unterminated_clause_lenient_keeps_it(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 2\n")
+        assert cnf.num_clauses == 1
+
+    def test_unterminated_clause_strict_raises(self):
+        with pytest.raises(DimacsError, match="terminated"):
+            parse_dimacs("p cnf 2 1\n1 2\n", strict=True)
+
+    def test_duplicate_header_raises(self):
+        with pytest.raises(DimacsError, match="duplicate"):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p dnf 1 1\n1 0\n")
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf one 1\n1 0\n")
+
+    def test_bad_token_raises(self):
+        with pytest.raises(DimacsError, match="bad token"):
+            parse_dimacs("p cnf 1 1\n1 x 0\n")
+
+    def test_percent_terminator_stops_parsing(self):
+        cnf = parse_dimacs("p cnf 1 1\n1 0\n%\n0\n")
+        assert cnf.num_clauses == 1
+
+    def test_header_var_count_respected_when_larger(self):
+        cnf = parse_dimacs("p cnf 9 1\n1 0\n")
+        assert cnf.num_vars == 9
+
+
+class TestRoundTrip:
+    def test_serialize_and_reparse(self):
+        original = CNF([[1, -2], [3]], comments=["generated"])
+        text = to_dimacs(original)
+        assert text.startswith("c generated\np cnf 3 2\n")
+        parsed = parse_dimacs(text)
+        assert [c.literals for c in parsed.clauses] == [(1, -2), (3,)]
+        assert parsed.num_vars == 3
+
+    def test_comments_optional(self):
+        cnf = CNF([[1]], comments=["secret"])
+        assert "secret" not in to_dimacs(cnf, include_comments=False)
+
+    def test_file_round_trip(self, tmp_path):
+        cnf = CNF([[1, 2], [-1, -2]])
+        path = tmp_path / "f.cnf"
+        write_dimacs_file(cnf, path)
+        loaded = parse_dimacs_file(path, strict=True)
+        assert [c.literals for c in loaded.clauses] == [(1, 2), (-1, -2)]

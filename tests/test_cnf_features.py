@@ -1,0 +1,76 @@
+"""Tests for static formula feature extraction."""
+
+import pytest
+
+from repro.cnf import CNF, extract_features, random_ksat
+from repro.cnf.features import _gini
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_fully_concentrated_approaches_one(self):
+        value = _gini([0] * 99 + [100])
+        assert value > 0.9
+
+    def test_empty_and_zero(self):
+        assert _gini([]) == 0.0
+        assert _gini([0, 0]) == 0.0
+
+    def test_monotone_in_skew(self):
+        assert _gini([1, 1, 1, 9]) > _gini([2, 2, 4, 4])
+
+
+class TestExtractFeatures:
+    def test_basic_counts(self):
+        cnf = CNF([[1, 2, 3], [-1, -2], [2]])
+        f = extract_features(cnf)
+        assert f.num_vars == 3
+        assert f.num_clauses == 3
+        assert f.num_literals == 6
+        assert f.mean_clause_size == pytest.approx(2.0)
+        assert f.max_clause_size == 3
+        assert f.min_clause_size == 1
+        assert f.binary_fraction == pytest.approx(1 / 3)
+        assert f.ternary_fraction == pytest.approx(1 / 3)
+
+    def test_horn_fraction(self):
+        # Horn: at most one positive literal per clause.
+        cnf = CNF([[-1, -2, 3], [1, 2], [-1, -2]])
+        f = extract_features(cnf)
+        assert f.horn_fraction == pytest.approx(2 / 3)
+
+    def test_positive_literal_fraction(self):
+        cnf = CNF([[1, -2], [3, 4]])
+        f = extract_features(cnf)
+        assert f.positive_literal_fraction == pytest.approx(3 / 4)
+
+    def test_occurrence_stats(self):
+        cnf = CNF([[1, 2], [1, 3], [1, -2]])
+        f = extract_features(cnf)
+        assert f.max_var_occurrence == 3
+        assert f.mean_var_occurrence == pytest.approx(6 / 3)
+
+    def test_empty_formula_total(self):
+        f = extract_features(CNF())
+        assert f.num_vars == 0
+        assert f.clause_var_ratio == 0.0
+        assert f.mean_clause_size == 0.0
+
+    def test_vector_shape_fixed(self):
+        f1 = extract_features(CNF([[1, 2]]))
+        f2 = extract_features(random_ksat(20, 60, seed=0))
+        assert len(f1.as_vector()) == len(f2.as_vector()) == 14
+
+    def test_dict_round_trip(self):
+        f = extract_features(CNF([[1, 2]]))
+        d = f.to_dict()
+        assert d["num_vars"] == 1 or d["num_vars"] == 2
+        assert set(d) == {
+            "num_vars", "num_clauses", "num_literals", "clause_var_ratio",
+            "mean_clause_size", "max_clause_size", "min_clause_size",
+            "binary_fraction", "ternary_fraction", "horn_fraction",
+            "positive_literal_fraction", "mean_var_occurrence",
+            "max_var_occurrence", "var_occurrence_gini",
+        }

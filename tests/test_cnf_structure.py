@@ -1,0 +1,92 @@
+"""Tests for VIG-based structural analysis."""
+
+import pytest
+
+from repro.cnf import CNF, community_sat, random_ksat
+from repro.cnf.structure import (
+    community_labels,
+    structural_features,
+    variable_incidence_graph,
+)
+
+
+class TestVariableIncidenceGraph:
+    def test_nodes_cover_all_variables(self):
+        cnf = CNF([[1, 2]], num_vars=4)
+        graph = variable_incidence_graph(cnf)
+        assert set(graph.nodes) == {1, 2, 3, 4}
+
+    def test_clause_creates_pairwise_edges(self):
+        cnf = CNF([[1, 2, 3]])
+        graph = variable_incidence_graph(cnf)
+        assert graph.number_of_edges() == 3
+
+    def test_polarity_irrelevant(self):
+        a = variable_incidence_graph(CNF([[1, 2]]))
+        b = variable_incidence_graph(CNF([[-1, -2]]))
+        assert set(a.edges) == set(b.edges)
+
+    def test_weights_normalize_clause_size(self):
+        cnf = CNF([[1, 2], [3, 4, 5]])
+        graph = variable_incidence_graph(cnf)
+        assert graph[1][2]["weight"] == pytest.approx(1.0)
+        assert graph[3][4]["weight"] == pytest.approx(1.0 / 3.0)
+
+    def test_repeated_cooccurrence_accumulates(self):
+        cnf = CNF([[1, 2], [1, 2, 3]])
+        graph = variable_incidence_graph(cnf)
+        assert graph[1][2]["weight"] == pytest.approx(1.0 + 1.0 / 3.0)
+
+    def test_long_clauses_skipped(self):
+        cnf = CNF([list(range(1, 15))])
+        graph = variable_incidence_graph(cnf, max_clause_size=10)
+        assert graph.number_of_edges() == 0
+
+
+class TestStructuralFeatures:
+    def test_empty_formula(self):
+        f = structural_features(CNF())
+        assert f.num_vig_nodes == 0
+        assert f.modularity == 0.0
+
+    def test_counts(self):
+        f = structural_features(CNF([[1, 2], [2, 3]]))
+        assert f.num_vig_nodes == 3
+        assert f.num_vig_edges == 2
+        assert f.mean_degree == pytest.approx(4 / 3)
+
+    def test_community_structure_detected(self):
+        """The community generator must yield higher modularity than
+        uniform random formulas of the same size."""
+        modular = community_sat(4, 15, 60, inter_clause_fraction=0.02, seed=1)
+        uniform = random_ksat(60, 240, seed=1)
+        f_mod = structural_features(modular)
+        f_uni = structural_features(uniform)
+        assert f_mod.modularity > f_uni.modularity + 0.2
+
+    def test_disconnected_components(self):
+        cnf = CNF([[1, 2], [3, 4]])
+        f = structural_features(cnf)
+        assert f.largest_component_fraction == pytest.approx(0.5)
+
+    def test_to_dict_keys(self):
+        d = structural_features(CNF([[1, 2]])).to_dict()
+        assert "modularity" in d and "clustering_coefficient" in d
+
+
+class TestCommunityLabels:
+    def test_labels_cover_variables(self):
+        cnf = community_sat(3, 10, 40, inter_clause_fraction=0.0, seed=0)
+        labels = community_labels(cnf)
+        assert len(labels) == cnf.num_vars + 1
+
+    def test_disjoint_communities_separated(self):
+        # Two completely disconnected variable groups.
+        cnf = CNF([[1, 2], [1, 3], [2, 3], [4, 5], [4, 6], [5, 6]])
+        labels = community_labels(cnf)
+        assert labels[1] == labels[2] == labels[3]
+        assert labels[4] == labels[5] == labels[6]
+        assert labels[1] != labels[4]
+
+    def test_edgeless_formula(self):
+        assert community_labels(CNF([[1]])) == [0, 0]

@@ -1,0 +1,135 @@
+"""Tests for the DRAT proof checker and proof log."""
+
+import pytest
+
+from repro.cnf import CNF, pigeonhole
+from repro.solver import ProofLog, Solver, Status, check_drat
+from repro.solver.drat import DratError, parse_proof
+from repro.solver.types import encode
+
+
+class TestParseProof:
+    def test_additions_and_deletions(self):
+        steps = parse_proof("1 2 0\nd 1 2 0\n0\n")
+        assert steps == [("a", (1, 2)), ("d", (1, 2)), ("a", ())]
+
+    def test_comments_skipped(self):
+        assert parse_proof("c hi\n1 0\n") == [("a", (1,))]
+
+    def test_missing_terminator(self):
+        with pytest.raises(DratError):
+            parse_proof("1 2\n")
+
+    def test_bad_token(self):
+        with pytest.raises(DratError):
+            parse_proof("1 x 0\n")
+
+
+class TestCheckDrat:
+    def test_valid_resolution_chain(self):
+        cnf = CNF([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        proof = "2 0\n1 0\n0\n"
+        assert check_drat(cnf, proof)
+
+    def test_non_rup_step_rejected(self):
+        cnf = CNF([[1, 2]])
+        with pytest.raises(DratError, match="not RUP"):
+            check_drat(cnf, "1 0\n", require_empty=False)
+
+    def test_missing_empty_clause_rejected(self):
+        cnf = CNF([[1, 2], [-1, 2]])
+        with pytest.raises(DratError, match="empty clause"):
+            check_drat(cnf, "2 0\n")
+
+    def test_require_empty_false_allows_partial(self):
+        cnf = CNF([[1, 2], [-1, 2]])
+        assert check_drat(cnf, "2 0\n", require_empty=False)
+
+    def test_deletion_of_unknown_clause_tolerated(self):
+        cnf = CNF([[1, 2], [-1, 2]])
+        assert check_drat(cnf, "d 9 9 0\n2 0\n", require_empty=False)
+
+    def test_deleted_clause_cannot_support_later_step(self):
+        cnf = CNF([[1], [-1, 2]])
+        # After deleting [-1, 2], unit 2 is no longer RUP.
+        with pytest.raises(DratError):
+            check_drat(cnf, "d -1 2 0\n2 0\n", require_empty=False)
+
+    def test_formula_with_existing_empty_clause(self):
+        assert check_drat(CNF([[]]), "")
+
+
+class TestProofLogUnit:
+    def test_text_and_lines(self):
+        proof = ProofLog()
+        proof.add_clause([encode(1), encode(-2)])
+        proof.delete_clause([encode(1), encode(-2)])
+        proof.add_empty_clause()
+        assert proof.lines() == ["1 -2 0", "d 1 -2 0", "0"]
+        assert proof.additions == 2
+        assert proof.deletions == 1
+
+    def test_file_backed_text_raises(self, tmp_path):
+        proof = ProofLog(tmp_path / "p.drat")
+        proof.add_clause([encode(1)])
+        with pytest.raises(RuntimeError):
+            proof.text()
+        proof.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "p.drat"
+        with ProofLog(path) as proof:
+            proof.add_empty_clause()
+        assert path.read_text() == "0\n"
+
+
+class TestEndToEndProofs:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_proofs_check(self, holes):
+        cnf = pigeonhole(holes)
+        proof = ProofLog()
+        result = Solver(cnf, proof=proof).solve()
+        assert result.status is Status.UNSATISFIABLE
+        assert check_drat(cnf, proof.text())
+
+
+class TestTrimProof:
+    def test_trimmed_proof_still_checks(self):
+        from repro.cnf import pigeonhole
+        from repro.solver.drat import trim_proof
+
+        cnf = pigeonhole(4)
+        proof = ProofLog()
+        result = Solver(cnf, proof=proof).solve()
+        assert result.status is Status.UNSATISFIABLE
+        trimmed = trim_proof(cnf, proof.text())
+        assert check_drat(cnf, trimmed)
+        assert len(trimmed.splitlines()) <= proof.additions
+
+    def test_irrelevant_additions_dropped(self):
+        from repro.solver.drat import trim_proof
+
+        cnf = CNF([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        # "2" is a valid RUP lemma but unnecessary: the refutation below
+        # derives units 1 and -1 directly from the original clauses.
+        proof = "2 0\n1 0\n-1 0\n0\n"
+        assert check_drat(cnf, proof)
+        trimmed = trim_proof(cnf, proof)
+        assert "2 0" not in trimmed.splitlines()
+        assert check_drat(cnf, trimmed)
+
+    def test_invalid_proof_rejected(self):
+        from repro.solver.drat import trim_proof
+
+        cnf = CNF([[1, 2]])
+        with pytest.raises(DratError):
+            trim_proof(cnf, "1 0\n")
+
+    def test_deletions_ignored(self):
+        from repro.solver.drat import trim_proof
+
+        cnf = CNF([[1], [-1, 2], [-2]])
+        proof = "2 0\nd 2 0\n0\n"
+        trimmed = trim_proof(cnf, proof)
+        assert "d " not in trimmed
+        assert check_drat(cnf, trimmed)

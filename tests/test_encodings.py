@@ -1,0 +1,193 @@
+"""Tests for Tseitin circuit encoding and miter construction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf.encodings import Circuit, miter, ripple_carry_adder
+from repro.solver import Solver, Status
+
+
+def solve(cnf):
+    return Solver(cnf).solve()
+
+
+class TestCircuitConstruction:
+    def test_inputs_are_stable(self):
+        c = Circuit()
+        assert c.input("a") == c.input("a")
+        assert c.input("a") != c.input("b")
+
+    def test_undefined_signal_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.and_(1, 99)
+        with pytest.raises(ValueError):
+            c.not_(5)
+
+    def test_gate_arity_checks(self):
+        c = Circuit()
+        a = c.input("a")
+        with pytest.raises(ValueError):
+            c.and_(a)
+        with pytest.raises(ValueError):
+            c.or_(a)
+
+    def test_output_must_be_set(self):
+        c = Circuit()
+        c.input("a")
+        with pytest.raises(ValueError):
+            _ = c.output
+
+
+class TestEvaluation:
+    def test_gates_match_python_semantics(self):
+        c = Circuit()
+        a, b, s = c.input("a"), c.input("b"), c.input("s")
+        gates = {
+            "and": c.and_(a, b),
+            "or": c.or_(a, b),
+            "xor": c.xor(a, b),
+            "not": c.not_(a),
+            "ite": c.ite(s, a, b),
+        }
+        for va, vb, vs in itertools.product([False, True], repeat=3):
+            env = {"a": va, "b": vb, "s": vs}
+            expected = {
+                "and": va and vb,
+                "or": va or vb,
+                "xor": va != vb,
+                "not": not va,
+                "ite": va if vs else vb,
+            }
+            for kind, lit in gates.items():
+                c.set_output(lit)
+                assert c.evaluate(env) == expected[kind], kind
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        a = c.input("a")
+        c.set_output(a)
+        with pytest.raises(ValueError):
+            c.evaluate({})
+
+
+class TestTseitinEncoding:
+    def test_sat_iff_output_activatable(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.set_output(c.and_(a, b))
+        result = solve(c.to_cnf())
+        assert result.status is Status.SATISFIABLE
+        # The model must actually drive the circuit to true.
+        assignment = {"a": result.model[a], "b": result.model[b]}
+        assert c.evaluate(assignment) is True
+
+    def test_contradictory_circuit_unsat(self):
+        c = Circuit()
+        a = c.input("a")
+        c.set_output(c.and_(a, c.not_(a)))
+        assert solve(c.to_cnf()).status is Status.UNSATISFIABLE
+
+    def test_without_output_assertion(self):
+        c = Circuit()
+        a = c.input("a")
+        c.set_output(c.and_(a, c.not_(a)))
+        # Pure definition clauses are always satisfiable.
+        assert solve(c.to_cnf(assert_output=False)).status is Status.SATISFIABLE
+
+    def test_encoding_agrees_with_simulation(self):
+        """For every input assignment: CNF + pinned inputs SAT <=> simulate."""
+        c = Circuit()
+        a, b, s = c.input("a"), c.input("b"), c.input("s")
+        c.set_output(c.xor(c.ite(s, a, b), c.and_(a, b)))
+        cnf = c.to_cnf()
+        for va, vb, vs in itertools.product([False, True], repeat=3):
+            assumptions = [
+                a if va else -a,
+                b if vb else -b,
+                s if vs else -s,
+            ]
+            result = Solver(cnf).solve(assumptions=assumptions)
+            simulated = c.evaluate({"a": va, "b": vb, "s": vs})
+            assert (result.status is Status.SATISFIABLE) == simulated
+
+
+class TestMiter:
+    def build_xor_two_ways(self):
+        # XOR via the gate, and via (a|b) & ~(a&b).
+        direct = Circuit()
+        a, b = direct.input("a"), direct.input("b")
+        direct.set_output(direct.xor(a, b))
+
+        composed = Circuit()
+        x, y = composed.input("a"), composed.input("b")
+        composed.set_output(
+            composed.and_(composed.or_(x, y), composed.not_(composed.and_(x, y)))
+        )
+        return direct, composed
+
+    def test_equivalent_circuits_give_unsat_miter(self):
+        direct, composed = self.build_xor_two_ways()
+        assert solve(miter(direct, composed)).status is Status.UNSATISFIABLE
+
+    def test_inequivalent_circuits_give_sat_miter(self):
+        direct, _ = self.build_xor_two_ways()
+        other = Circuit()
+        a, b = other.input("a"), other.input("b")
+        other.set_output(other.or_(a, b))  # OR != XOR at a=b=1
+        result = solve(miter(direct, other))
+        assert result.status is Status.SATISFIABLE
+
+    def test_mismatched_inputs_rejected(self):
+        c1 = Circuit()
+        c1.set_output(c1.input("a"))
+        c2 = Circuit()
+        c2.set_output(c2.input("z"))
+        with pytest.raises(ValueError):
+            miter(c1, c2)
+
+    def test_adder_self_equivalence(self):
+        a1 = ripple_carry_adder(3)
+        a2 = ripple_carry_adder(3)
+        assert solve(miter(a1, a2)).status is Status.UNSATISFIABLE
+
+    def test_adder_width_mismatch_detected(self):
+        with pytest.raises(ValueError):
+            miter(ripple_carry_adder(3), ripple_carry_adder(4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=255))
+def test_property_random_circuit_encoding_matches_simulation(seed):
+    """Random 3-input circuits: SAT-with-pinned-inputs == simulation."""
+    import random
+
+    rng = random.Random(seed)
+    c = Circuit()
+    names = ["a", "b", "d"]
+    signals = [c.input(n) for n in names]
+    for _ in range(rng.randint(1, 6)):
+        op = rng.choice(["and", "or", "xor", "not", "ite"])
+        picks = [rng.choice(signals) for _ in range(3)]
+        if op == "and":
+            signals.append(c.and_(picks[0], picks[1]))
+        elif op == "or":
+            signals.append(c.or_(picks[0], picks[1]))
+        elif op == "xor":
+            signals.append(c.xor(picks[0], picks[1]))
+        elif op == "not":
+            signals.append(c.not_(picks[0]))
+        else:
+            signals.append(c.ite(*picks))
+    c.set_output(signals[-1])
+    cnf = c.to_cnf()
+    inputs = c.inputs
+    for values in ((False, False, True), (True, True, False)):
+        env = dict(zip(names, values))
+        assumptions = [
+            inputs[n] if env[n] else -inputs[n] for n in names
+        ]
+        result = Solver(cnf).solve(assumptions=assumptions)
+        assert (result.status is Status.SATISFIABLE) == c.evaluate(env)

@@ -1,0 +1,120 @@
+"""Tests for equivalent-literal substitution (binary implication SCCs)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF
+from repro.simplify import Preprocessor, solve_with_preprocessing, substitute_equivalences
+from repro.simplify.elimination import ModelReconstructor
+from repro.solver import Status, brute_force_status
+
+
+def fs(*lits):
+    return frozenset(lits)
+
+
+class TestSubstitution:
+    def test_simple_equivalence_detected(self):
+        # (¬1 ∨ 2) ∧ (1 ∨ ¬2) encodes 1 <-> 2.
+        rec = ModelReconstructor()
+        clauses = [fs(-1, 2), fs(1, -2), fs(2, 3)]
+        out, substituted, unsat = substitute_equivalences(clauses, rec)
+        assert not unsat
+        assert substituted == [2]
+        # Variable 2 must be gone from the remaining clauses.
+        assert all(2 != abs(lit) for clause in out for lit in clause)
+        assert fs(1, 3) in out
+
+    def test_negated_equivalence(self):
+        # (1 ∨ 2) ∧ (¬1 ∨ ¬2) encodes 1 <-> ¬2.
+        rec = ModelReconstructor()
+        clauses = [fs(1, 2), fs(-1, -2), fs(2, 3)]
+        out, substituted, unsat = substitute_equivalences(clauses, rec)
+        assert not unsat
+        assert substituted == [2]
+        assert fs(-1, 3) in out
+
+    def test_contradictory_cycle_is_unsat(self):
+        # 1 -> 2, 2 -> ¬1, ¬1 -> ¬2, ¬2 -> 1: literal 1 ~ ¬1.
+        clauses = [fs(-1, 2), fs(-2, -1), fs(1, -2), fs(2, 1)]
+        rec = ModelReconstructor()
+        _, _, unsat = substitute_equivalences(clauses, rec)
+        assert unsat
+
+    def test_no_binaries_is_noop(self):
+        rec = ModelReconstructor()
+        clauses = [fs(1, 2, 3)]
+        out, substituted, unsat = substitute_equivalences(clauses, rec)
+        assert out == clauses and not substituted and not unsat
+
+    def test_tautologies_after_substitution_dropped(self):
+        # 1 <-> 2 makes (1 ∨ ¬2) a tautology after substitution.
+        rec = ModelReconstructor()
+        clauses = [fs(-1, 2), fs(1, -2)]
+        out, _, _ = substitute_equivalences(clauses, rec)
+        assert out == []
+
+    def test_chain_collapses_to_one_representative(self):
+        # 1 <-> 2 <-> 3.
+        rec = ModelReconstructor()
+        clauses = [fs(-1, 2), fs(1, -2), fs(-2, 3), fs(2, -3), fs(3, 4)]
+        out, substituted, unsat = substitute_equivalences(clauses, rec)
+        assert not unsat
+        assert set(substituted) == {2, 3}
+        assert fs(1, 4) in out
+
+    def test_reconstruction_restores_equivalent_values(self):
+        rec = ModelReconstructor()
+        clauses = [fs(-1, 2), fs(1, -2)]
+        substitute_equivalences(clauses, rec)
+        model = [None, True, None]
+        rec.extend(model)
+        assert model[2] is True
+        model = [None, False, None]
+        rec.extend(model)
+        assert model[2] is False
+
+
+class TestPipelineIntegration:
+    def test_stats_counted(self):
+        cnf = CNF([[-1, 2], [1, -2], [2, 3, 4]])
+        result = Preprocessor().preprocess(cnf)
+        assert result.stats.substituted_variables >= 1
+
+    def test_flag_disables(self):
+        cnf = CNF([[-1, 2], [1, -2], [2, 3, 4]])
+        result = Preprocessor(
+            enable_equivalences=False,
+            enable_elimination=False,
+            enable_strengthening=False,
+            enable_probing=False,
+            enable_subsumption=False,
+        ).preprocess(cnf)
+        assert result.stats.substituted_variables == 0
+
+    def test_two_sat_unsat_detected(self):
+        cnf = CNF([[-1, 2], [-2, -1], [1, -2], [2, 1]])
+        result = Preprocessor().preprocess(cnf)
+        assert result.status is Status.UNSATISFIABLE
+
+
+@st.composite
+def binary_heavy_cnfs(draw, max_vars=6, max_clauses=16):
+    """CNFs rich in binary clauses so SCCs actually form."""
+    num_vars = draw(st.integers(min_value=2, max_value=max_vars))
+    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(st.lists(literal, min_size=2, max_size=3), max_size=max_clauses)
+    )
+    return CNF(clauses, num_vars=num_vars)
+
+
+@settings(max_examples=100, deadline=None)
+@given(binary_heavy_cnfs())
+def test_property_equivalence_substitution_preserves_status(cnf):
+    expected = brute_force_status(cnf)
+    result = solve_with_preprocessing(cnf)
+    assert result.status is expected
+    if result.status is Status.SATISFIABLE:
+        assert cnf.check_model(result.model)

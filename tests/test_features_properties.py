@@ -1,0 +1,66 @@
+"""Property-based tests for feature extraction and DIMACS round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF, extract_features, parse_dimacs, to_dimacs
+from repro.cnf.transforms import rename_variables, shuffle_clauses
+
+
+@st.composite
+def cnfs(draw, max_vars=10, max_clauses=20):
+    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(st.lists(literal, min_size=1, max_size=5), max_size=max_clauses)
+    )
+    return CNF(clauses, num_vars=num_vars)
+
+
+@settings(max_examples=100, deadline=None)
+@given(cnfs())
+def test_dimacs_round_trip_exact(cnf):
+    reparsed = parse_dimacs(to_dimacs(cnf), strict=True)
+    assert reparsed.num_vars == cnf.num_vars
+    assert [c.literals for c in reparsed.clauses] == [
+        c.literals for c in cnf.clauses
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs())
+def test_feature_invariants(cnf):
+    f = extract_features(cnf)
+    assert f.num_literals == sum(len(c) for c in cnf.clauses)
+    assert 0.0 <= f.binary_fraction <= 1.0
+    assert 0.0 <= f.ternary_fraction <= 1.0
+    assert 0.0 <= f.horn_fraction <= 1.0
+    assert 0.0 <= f.positive_literal_fraction <= 1.0
+    assert 0.0 <= f.var_occurrence_gini <= 1.0
+    assert f.min_clause_size <= f.mean_clause_size <= f.max_clause_size or (
+        f.num_clauses == 0
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(), st.integers(min_value=0, max_value=999))
+def test_features_invariant_under_clause_shuffle(cnf, seed):
+    """Clause order cannot change any feature."""
+    shuffled = shuffle_clauses(cnf, seed=seed)
+    assert extract_features(shuffled) == extract_features(cnf)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(), st.integers(min_value=0, max_value=999))
+def test_size_features_invariant_under_renaming(cnf, seed):
+    """Renaming permutes occurrence counts; aggregate stats are unchanged."""
+    renamed = rename_variables(cnf, seed=seed)
+    original = extract_features(cnf)
+    transformed = extract_features(renamed)
+    assert transformed.num_vars == original.num_vars
+    assert transformed.num_clauses == original.num_clauses
+    assert transformed.num_literals == original.num_literals
+    assert transformed.mean_clause_size == original.mean_clause_size
+    assert transformed.max_var_occurrence == original.max_var_occurrence
+    assert abs(transformed.var_occurrence_gini - original.var_occurrence_gini) < 1e-12

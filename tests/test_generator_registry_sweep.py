@@ -1,0 +1,58 @@
+"""Sweep: every registered generator family builds and solves end to end."""
+
+import pytest
+
+from repro.cnf import GENERATOR_FAMILIES, GeneratorSpec
+from repro.solver import Solver, Status
+
+FAMILY_PARAMS = {
+    "random_ksat": {"num_vars": 15, "num_clauses": 50},
+    "pigeonhole": {"holes": 3},
+    "graph_coloring": {"num_nodes": 8, "num_colors": 3, "edge_prob": 0.3},
+    "parity_chain": {"num_vars": 6},
+    "community_sat": {
+        "num_communities": 2,
+        "vars_per_community": 8,
+        "clauses_per_community": 20,
+    },
+    "cardinality_conflict": {"num_vars": 6},
+}
+
+
+def test_every_family_has_sweep_params():
+    assert set(FAMILY_PARAMS) == set(GENERATOR_FAMILIES)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+def test_spec_builds_and_solves(family):
+    spec = GeneratorSpec(
+        family, tuple(sorted(FAMILY_PARAMS[family].items())), seed=1
+    )
+    cnf = spec.build()
+    assert cnf.num_vars > 0
+    assert cnf.num_clauses > 0
+    result = Solver(cnf).solve(max_conflicts=20_000)
+    assert result.status in (Status.SATISFIABLE, Status.UNSATISFIABLE)
+    if result.is_sat:
+        assert cnf.check_model(result.model)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+def test_spec_name_mentions_family_and_seed(family):
+    spec = GeneratorSpec(
+        family, tuple(sorted(FAMILY_PARAMS[family].items())), seed=42
+    )
+    assert family in spec.name
+    assert "s42" in spec.name
+
+
+@pytest.mark.parametrize("family", sorted(f for f in GENERATOR_FAMILIES if f != "pigeonhole"))
+def test_seeds_vary_output(family):
+    specs = [
+        GeneratorSpec(family, tuple(sorted(FAMILY_PARAMS[family].items())), seed=s)
+        for s in (1, 2)
+    ]
+    texts = [
+        tuple(c.literals for c in spec.build().clauses) for spec in specs
+    ]
+    assert texts[0] != texts[1]

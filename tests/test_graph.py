@@ -1,0 +1,83 @@
+"""Tests for CNF-to-graph encodings (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cnf import CNF, random_ksat
+from repro.graph import BipartiteGraph, LiteralClauseGraph
+
+
+class TestBipartiteGraph:
+    def test_counts(self):
+        cnf = CNF([[1, -2], [2, 3, -1]])
+        g = BipartiteGraph(cnf)
+        assert g.num_vars == 3
+        assert g.num_clauses == 2
+        assert g.num_edges == 5
+        assert g.num_nodes == 5
+
+    def test_edge_weights_encode_polarity(self):
+        cnf = CNF([[1, -2]])
+        g = BipartiteGraph(cnf)
+        weights = dict(zip(g.edge_var, g.edge_weight))
+        assert weights[0] == 1.0  # x1 positive
+        assert weights[1] == -1.0  # x2 negated
+
+    def test_edge_indices_zero_based(self):
+        cnf = CNF([[3]])
+        g = BipartiteGraph(cnf)
+        assert g.edge_var[0] == 2
+        assert g.edge_clause[0] == 0
+
+    def test_degrees(self):
+        cnf = CNF([[1, 2], [1, 3], [1, -2]])
+        g = BipartiteGraph(cnf)
+        assert g.var_degree[0] == 3.0  # x1 in all three clauses
+        assert list(g.clause_degree) == [2.0, 2.0, 2.0]
+
+    def test_degree_floor_prevents_zero_division(self):
+        cnf = CNF([[1]], num_vars=5)  # vars 2..5 isolated
+        g = BipartiteGraph(cnf)
+        assert g.var_degree.min() == 1.0
+
+    def test_initial_features_per_paper(self):
+        cnf = CNF([[1, 2]])
+        g = BipartiteGraph(cnf)
+        assert np.all(g.initial_var_features(4) == 1.0)
+        assert np.all(g.initial_clause_features(4) == 0.0)
+        assert g.initial_var_features(4).shape == (2, 4)
+        assert g.initial_clause_features(4).shape == (1, 4)
+
+    def test_num_nodes_matches_paper_filter_semantics(self):
+        cnf = random_ksat(50, 200, seed=0)
+        g = BipartiteGraph(cnf)
+        assert g.num_nodes == 50 + 200
+
+
+class TestLiteralClauseGraph:
+    def test_counts(self):
+        cnf = CNF([[1, -2], [2]])
+        g = LiteralClauseGraph(cnf)
+        assert g.num_literals == 4
+        assert g.num_clauses == 2
+        assert g.num_edges == 3
+
+    def test_literal_indexing(self):
+        cnf = CNF([[1, -1]])
+        g = LiteralClauseGraph(cnf)
+        assert set(g.edge_lit) == {0, 1}  # x1 -> 0, ~x1 -> 1
+
+    def test_flip_index_is_involution(self):
+        cnf = random_ksat(6, 10, seed=0)
+        g = LiteralClauseGraph(cnf)
+        flip = g.flip_index()
+        np.testing.assert_array_equal(flip[flip], np.arange(g.num_literals))
+        assert flip[0] == 1 and flip[1] == 0
+
+    def test_degree_floor(self):
+        cnf = CNF([[1]])
+        g = LiteralClauseGraph(cnf)
+        assert g.lit_degree.min() == 1.0  # the unused ~x1 node
+
+    def test_repr(self):
+        assert "literals=4" in repr(LiteralClauseGraph(CNF([[1, 2]])))

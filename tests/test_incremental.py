@@ -1,0 +1,118 @@
+"""Tests for incremental solving (add_clause between solve calls)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF, random_ksat
+from repro.solver import Solver, Status, brute_force_status
+
+
+class TestAddClause:
+    def test_monotone_tightening(self):
+        cnf = CNF([[1, 2]], num_vars=2)
+        solver = Solver(cnf)
+        assert solver.solve().status is Status.SATISFIABLE
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result.status is Status.SATISFIABLE
+        assert result.model[1] is False and result.model[2] is True
+        solver.add_clause([-2])
+        assert solver.solve().status is Status.UNSATISFIABLE
+
+    def test_caller_cnf_not_mutated(self):
+        cnf = CNF([[1, 2]])
+        solver = Solver(cnf)
+        solver.add_clause([-1])
+        assert cnf.num_clauses == 1  # original untouched
+        assert solver.cnf.num_clauses == 2
+
+    def test_unknown_variable_rejected(self):
+        solver = Solver(CNF([[1, 2]]))
+        with pytest.raises(ValueError, match="exceeds"):
+            solver.add_clause([3])
+
+    def test_zero_literal_rejected(self):
+        solver = Solver(CNF([[1]]))
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_empty_clause_makes_unsat(self):
+        solver = Solver(CNF([[1, 2]]))
+        solver.add_clause([])
+        assert solver.solve().status is Status.UNSATISFIABLE
+
+    def test_tautology_is_noop(self):
+        solver = Solver(CNF([[1, 2]]))
+        solver.add_clause([1, -1])
+        assert solver.solve().status is Status.SATISFIABLE
+
+    def test_added_unit_propagates(self):
+        solver = Solver(CNF([[1, 2], [-1, 2]]))
+        solver.add_clause([-2])
+        assert solver.solve().status is Status.UNSATISFIABLE
+
+    def test_contradicting_level0_unit(self):
+        solver = Solver(CNF([[1], [2, 3]]))
+        solver.solve()
+        solver.add_clause([-1])
+        assert solver.solve().status is Status.UNSATISFIABLE
+
+    def test_add_after_sat_preserves_learned_state(self):
+        cnf = random_ksat(40, 160, seed=2)
+        solver = Solver(cnf)
+        first = solver.solve()
+        assert first.status is Status.SATISFIABLE
+        # Block the found model (one blocking clause) and re-solve.
+        blocking = [
+            -(v if first.model[v] else -v) for v in range(1, cnf.num_vars + 1)
+        ]
+        solver.add_clause(blocking)
+        second = solver.solve()
+        if second.status is Status.SATISFIABLE:
+            assert second.model != first.model
+            assert solver.cnf.check_model(second.model)
+
+    def test_model_enumeration(self):
+        """Enumerate all models of a small formula by blocking clauses."""
+        cnf = CNF([[1, 2]], num_vars=2)
+        solver = Solver(cnf)
+        models = set()
+        while True:
+            result = solver.solve()
+            if result.status is not Status.SATISFIABLE:
+                break
+            bits = tuple(result.model[1:3])
+            assert bits not in models
+            models.add(bits)
+            solver.add_clause(
+                [-(v if result.model[v] else -v) for v in (1, 2)]
+            )
+        assert models == {(True, True), (True, False), (False, True)}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=5000), st.integers(min_value=1, max_value=6))
+def test_property_incremental_equals_monolithic(seed, extra):
+    """Adding clauses incrementally == solving the combined formula."""
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(3, 8)
+    base = random_ksat(n, rng.randint(2, 20), k=min(3, n), seed=seed)
+    extras = [
+        [rng.choice([v, -v]) for v in rng.sample(range(1, n + 1), min(2, n))]
+        for _ in range(extra)
+    ]
+
+    solver = Solver(base)
+    solver.solve()
+    for clause in extras:
+        solver.add_clause(clause)
+    incremental = solver.solve()
+
+    combined = CNF(
+        [list(c.literals) for c in base.clauses] + extras, num_vars=n
+    )
+    assert incremental.status is brute_force_status(combined)
+    if incremental.is_sat:
+        assert combined.check_model(incremental.model)

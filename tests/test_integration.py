@@ -1,0 +1,91 @@
+"""Cross-module integration tests: the full paper pipeline in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig3_propagation_frequency,
+    fig4_policy_scatter,
+    fig7_table3_end_to_end,
+    table2_classification,
+)
+from repro.cnf import random_ksat, to_dimacs, parse_dimacs
+from repro.models import NeuroSelect
+from repro.nn import load_module, save_module
+from repro.selection import NeuroSelectSolver, Trainer, build_dataset
+from repro.solver import Solver, Status
+
+
+@pytest.fixture(scope="module")
+def mini_dataset():
+    """A small but real dataset: every label comes from actual solver runs."""
+    return build_dataset(instances_per_year=2, max_conflicts=2000)
+
+
+class TestFullPipeline:
+    def test_dataset_to_training_to_selection(self, mini_dataset):
+        model = NeuroSelect(hidden_dim=8, seed=0)
+        trainer = Trainer(model, learning_rate=3e-3, epochs=5)
+        history = trainer.fit(mini_dataset.train)
+        assert len(history.losses) == 5
+
+        selector = NeuroSelectSolver(model)
+        for inst in mini_dataset.test:
+            outcome = selector.solve(inst.cnf, max_conflicts=2000)
+            assert outcome.result.status in (
+                Status.SATISFIABLE,
+                Status.UNSATISFIABLE,
+                Status.UNKNOWN,
+            )
+            if outcome.result.is_sat:
+                assert inst.cnf.check_model(outcome.result.model)
+
+    def test_model_round_trips_through_disk(self, mini_dataset, tmp_path):
+        model = NeuroSelect(hidden_dim=8, seed=3)
+        Trainer(model, learning_rate=3e-3, epochs=2).fit(mini_dataset.train)
+        path = tmp_path / "weights.npz"
+        save_module(model, path)
+        clone = NeuroSelect(hidden_dim=8, seed=99)
+        load_module(clone, path)
+        cnf = mini_dataset.test[0].cnf
+        assert model.predict_proba(cnf) == pytest.approx(clone.predict_proba(cnf))
+
+    def test_experiment_drivers_compose(self, mini_dataset):
+        model = NeuroSelect(hidden_dim=8, seed=0)
+        t2 = table2_classification(
+            mini_dataset, models={"NeuroSelect": model}, epochs=2
+        )
+        assert len(t2.rows) == 1
+        e2e = fig7_table3_end_to_end(mini_dataset.test, model, max_propagations=30_000)
+        f4 = fig4_policy_scatter(mini_dataset.test, max_propagations=30_000)
+        # The suites cover the same instances under the same budget: the
+        # selector's per-instance time equals one of the two policies'
+        # (plus inference, which the scatter omits).
+        for i in range(len(mini_dataset.test)):
+            chosen = e2e.neuroselect_seconds[i] - e2e.inference_seconds[i]
+            # Tolerance absorbs the timeout cap applied after adding the
+            # (tiny) inference time.
+            close_to = lambda x: abs(chosen - x) < 0.1
+            assert close_to(f4.default_seconds[i]) or close_to(f4.frequency_seconds[i])
+
+    def test_dimacs_round_trip_preserves_solver_behaviour(self):
+        cnf = random_ksat(40, 170, seed=5)
+        reparsed = parse_dimacs(to_dimacs(cnf))
+        a = Solver(cnf).solve()
+        b = Solver(reparsed).solve()
+        assert a.status is b.status
+        assert a.stats.propagations == b.stats.propagations
+
+    def test_fig3_skew_holds_across_families(self):
+        """The Figure 3 observation is not an artifact of one instance."""
+        from repro.cnf import community_sat, parity_chain
+
+        for cnf in (
+            random_ksat(100, 426, seed=1),
+            community_sat(2, 80, 330, seed=2),
+            parity_chain(12, seed=3, contradiction=True),
+        ):
+            result = fig3_propagation_frequency(cnf, max_conflicts=2000)
+            if result.total_propagations < 1000:
+                continue  # too easy to say anything
+            assert result.gini > 0.1

@@ -1,0 +1,106 @@
+"""Tests for learning-rate schedulers and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    EarlyStopping,
+    StepLR,
+    Tensor,
+    WarmupLR,
+)
+
+
+def make_optimizer(lr=0.1):
+    return Adam([Tensor(np.zeros(1), requires_grad=True)], lr=lr)
+
+
+class TestConstantLR:
+    def test_rate_unchanged(self):
+        opt = make_optimizer(0.2)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.2)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = make_optimizer(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(6)]
+        assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025, 0.0125])
+
+    def test_mutates_optimizer(self):
+        opt = make_optimizer(0.1)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+        rates = [sched.step() for _ in range(10)]
+        assert rates[0] < 1.0
+        assert rates[-1] == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=20)
+        rates = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_after_total(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=3, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0)
+
+
+class TestWarmupLR:
+    def test_linear_ramp_then_delegate(self):
+        opt = make_optimizer(1.0)
+        sched = WarmupLR(opt, warmup_epochs=4, after=ConstantLR(opt))
+        rates = [sched.step() for _ in range(6)]
+        assert rates[:4] == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert rates[4] == pytest.approx(1.0)
+
+    def test_invalid_warmup(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            WarmupLR(opt, warmup_epochs=0, after=ConstantLR(opt))
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=3)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.1)
+        assert not stopper.update(1.2)
+        assert stopper.update(1.3)
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.5)
+        assert not stopper.update(0.5)  # improvement
+        assert not stopper.update(0.9)
+        assert stopper.update(0.8)  # above best - delta twice
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.5)
+        stopper.update(1.0)
+        assert stopper.update(0.8)  # not enough improvement
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

@@ -1,0 +1,215 @@
+"""Tests for the autograd engine: every op's gradient vs finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, ones, tensor, zeros
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x_data, atol=1e-6):
+    """build(t) -> scalar Tensor; compares autograd vs numeric grads."""
+    t = Tensor(x_data.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    numeric = numeric_grad(lambda: build(Tensor(t.data)).item(), t.data)
+    np.testing.assert_allclose(t.grad, numeric, atol=atol)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        b = Tensor(RNG.normal(size=(3,)))
+        check_gradient(lambda t: ((t + b) * (t + b)).sum(), RNG.normal(size=(4, 3)))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: (t * other).sum(), RNG.normal(size=(4, 3)))
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda t: ((-t) - 2.0).sum(), RNG.normal(size=(5,)))
+
+    def test_div(self):
+        denom = Tensor(RNG.uniform(1.0, 2.0, size=(4,)))
+        check_gradient(lambda t: (t / denom).sum(), RNG.normal(size=(3, 4)))
+
+    def test_div_by_tensor_gradient_flows_to_denominator(self):
+        t = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        out = (Tensor(np.array([1.0, 1.0])) / t).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [-0.25, -0.0625])
+
+    def test_pow(self):
+        check_gradient(lambda t: (t**3).sum(), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_matmul_both_sides(self):
+        a_data = RNG.normal(size=(3, 4))
+        b = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        a = Tensor(a_data, requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 2)
+        check_gradient(lambda t: ((t @ Tensor(b.data)) ** 2).sum(), a_data)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_gradient(
+            lambda t: (t.sum(axis=1, keepdims=True) * t).sum(), RNG.normal(size=(3, 4))
+        )
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_max(self):
+        x = np.array([[1.0, 5.0, 3.0], [7.0, 2.0, 2.0]])
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0, 1, 0], [1, 0, 0]])
+
+    def test_max_splits_ties(self):
+        t = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])
+
+    def test_transpose(self):
+        check_gradient(lambda t: (t.T @ t).sum(), RNG.normal(size=(3, 4)))
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_getitem(self):
+        check_gradient(lambda t: (t[1] ** 2).sum(), RNG.normal(size=(3, 4)))
+
+
+class TestNonlinearities:
+    def test_relu(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_gradient(lambda t: (t.relu() ** 2).sum(), x)
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), RNG.normal(size=(6,)))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), RNG.normal(size=(6,)))
+
+    def test_exp_log(self):
+        check_gradient(lambda t: (t.exp().log() * t).sum(), RNG.uniform(0.5, 2, size=(5,)))
+
+    def test_sqrt(self):
+        check_gradient(lambda t: t.sqrt().sum(), RNG.uniform(0.5, 4, size=(5,)))
+
+
+class TestGraphPrimitives:
+    def test_gather_rows_grad_accumulates_duplicates(self):
+        t = Tensor(np.eye(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        t.gather_rows(idx).sum().backward()
+        # Row 0 was gathered twice: its gradient is 2 in every column.
+        np.testing.assert_allclose(t.grad.sum(axis=1), [6, 0, 3])
+
+    def test_scatter_sum_forward(self):
+        t = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = t.scatter_sum(np.array([0, 1, 0]), 2)
+        np.testing.assert_allclose(out.data, [[4.0], [2.0]])
+
+    def test_scatter_sum_gradient(self):
+        data = RNG.normal(size=(5, 2))
+        seg = np.array([0, 1, 1, 0, 2])
+        check_gradient(lambda t: (t.scatter_sum(seg, 3) ** 2).sum(), data)
+
+    def test_gather_then_scatter_gradient(self):
+        data = RNG.normal(size=(4, 3))
+        idx = np.array([0, 0, 2, 3, 1])
+        seg = np.array([0, 1, 1, 0, 1])
+        check_gradient(
+            lambda t: (t.gather_rows(idx).scatter_sum(seg, 2) ** 2).sum(), data
+        )
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 2).sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph(self):
+        # y = a*a used twice: gradients must accumulate once per path.
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        y = t * t
+        (y + y).sum().backward()
+        np.testing.assert_allclose(t.grad, [12.0])
+
+    def test_no_grad_tracking_without_requires_grad(self):
+        t = Tensor(np.ones(3))
+        out = (t * 2).sum()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_detach_breaks_graph(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).data.sum() == 4
+        assert tensor([1, 2]).data.dtype == np.float64
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=4),
+        elements=st.floats(min_value=-3, max_value=3, allow_nan=False),
+    )
+)
+def test_property_sum_of_sigmoid_gradient(x):
+    """Hypothesis: sigmoid-sum gradient matches finite differences anywhere."""
+    check_gradient(lambda t: t.sigmoid().sum(), x.copy(), atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+def test_property_matmul_chain_shapes(n, m):
+    a = Tensor(RNG.normal(size=(n, m)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(m, n)), requires_grad=True)
+    ((a @ b) ** 2).sum().backward()
+    assert a.grad.shape == (n, m)
+    assert b.grad.shape == (m, n)

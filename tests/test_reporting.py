@@ -1,0 +1,44 @@
+"""Tests for EXPERIMENTS.md report generation."""
+
+from pathlib import Path
+
+from repro.bench.reporting import (
+    PAPER_REFERENCE,
+    SECTION_ORDER,
+    build_experiments_md,
+    collect_sections,
+)
+
+
+class TestReporting:
+    def test_every_section_has_a_reference(self):
+        assert set(SECTION_ORDER) == set(PAPER_REFERENCE)
+
+    def test_collect_handles_missing_files(self, tmp_path):
+        sections = collect_sections(tmp_path)
+        assert all(s.measured is None for s in sections)
+        assert "no result file found" in sections[0].render()
+
+    def test_collect_reads_existing(self, tmp_path):
+        (tmp_path / "table3_runtime.txt").write_text("measured rows\n")
+        sections = {s.name: s for s in collect_sections(tmp_path)}
+        assert "measured rows" in sections["table3_runtime"].measured
+        assert "```" in sections["table3_runtime"].render()
+
+    def test_build_writes_output(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4_policy_scatter.txt").write_text("wins=3\n")
+        out = tmp_path / "EXPERIMENTS.md"
+        text = build_experiments_md(results_dir=results, output=out)
+        assert out.exists()
+        assert "wins=3" in text
+        assert "paper vs. measured" in text
+        # Paper reference values are embedded for comparison.
+        assert "5.8%" in text and "69.44%" in text
+
+    def test_section_order_covers_all_paper_tables_and_figures(self):
+        # Every evaluation element of the paper appears in the report.
+        names = "\n".join(SECTION_ORDER)
+        for required in ("fig3", "fig4", "table1", "table2", "fig7", "table3"):
+            assert required in names

@@ -1,0 +1,247 @@
+"""Tests for the preprocessing stack: passes, elimination, pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF, pigeonhole, random_ksat
+from repro.simplify import (
+    ModelReconstructor,
+    Preprocessor,
+    eliminate_variables,
+    probe_failed_literals,
+    propagate_units,
+    solve_with_preprocessing,
+    strengthen,
+    subsume,
+)
+from repro.simplify.passes import SimplifyConflict
+from repro.solver import Solver, Status, brute_force_status
+
+
+def fs(*lits):
+    return frozenset(lits)
+
+
+class TestPropagateUnits:
+    def test_chain(self):
+        clauses, fixed = propagate_units([fs(1), fs(-1, 2), fs(-2, 3)])
+        assert clauses == []
+        assert fixed == {1: True, 2: True, 3: True}
+
+    def test_simplifies_satisfied_and_falsified(self):
+        clauses, fixed = propagate_units([fs(1), fs(1, 2), fs(-1, 2, 3)])
+        assert fixed[1] is True
+        assert clauses == [fs(2, 3)]
+
+    def test_conflict_raises(self):
+        with pytest.raises(SimplifyConflict):
+            propagate_units([fs(1), fs(-1)])
+
+    def test_no_units_is_noop(self):
+        clauses, fixed = propagate_units([fs(1, 2), fs(-1, -2)])
+        assert len(clauses) == 2 and fixed == {}
+
+
+class TestSubsume:
+    def test_superset_removed(self):
+        clauses, removed = subsume([fs(1, 2), fs(1, 2, 3)])
+        assert removed == 1
+        assert clauses == [fs(1, 2)]
+
+    def test_duplicates_removed(self):
+        clauses, removed = subsume([fs(1, 2), fs(2, 1)])
+        assert removed == 1
+
+    def test_unrelated_kept(self):
+        clauses, removed = subsume([fs(1, 2), fs(3, 4), fs(-1, -2)])
+        assert removed == 0
+        assert len(clauses) == 3
+
+    def test_unit_subsumes_everything_containing_it(self):
+        clauses, removed = subsume([fs(5), fs(5, 1), fs(5, -2, 3)])
+        assert clauses == [fs(5)]
+        assert removed == 2
+
+
+class TestStrengthen:
+    def test_self_subsuming_resolution(self):
+        # D = (1, 2); C = (-1, 2, 3) -> C loses -1, becomes (2, 3).
+        clauses, count = strengthen([fs(1, 2), fs(-1, 2, 3)])
+        assert count == 1
+        assert fs(2, 3) in clauses
+
+    def test_no_op_when_no_candidates(self):
+        clauses, count = strengthen([fs(1, 2), fs(3, 4)])
+        assert count == 0
+
+    def test_strengthening_preserves_equivalence(self):
+        original = CNF([[1, 2], [-1, 2, 3], [-2, -3]])
+        clauses, _ = strengthen([frozenset(c.literals) for c in original.clauses])
+        simplified = CNF([sorted(c) for c in clauses], num_vars=3)
+        assert brute_force_status(original) is brute_force_status(simplified)
+
+
+class TestProbing:
+    def test_failed_literal_found(self):
+        # Assuming 1 propagates 2 and -2: 1 fails, so -1 is forced.
+        clauses = [fs(-1, 2), fs(-1, -2), fs(1, 3)]
+        forced, unsat = probe_failed_literals(clauses)
+        assert not unsat
+        assert -1 in forced
+
+    def test_both_polarities_failing_is_unsat(self):
+        clauses = [fs(-1, 2), fs(-1, -2), fs(1, 3), fs(1, -3)]
+        forced, unsat = probe_failed_literals(clauses)
+        assert unsat
+
+    def test_probe_limit_respected(self):
+        clauses = [fs(i, i + 1) for i in range(1, 50)]
+        forced, unsat = probe_failed_literals(clauses, max_probes=3)
+        assert not unsat
+
+
+class TestElimination:
+    def test_pure_literal_variable_eliminated(self):
+        rec = ModelReconstructor()
+        clauses, eliminated, unsat = eliminate_variables(
+            [fs(1, 2), fs(1, 3)], num_vars=3, reconstructor=rec
+        )
+        assert not unsat
+        assert 1 in eliminated
+        # Pure literal: no resolvents at all.
+        assert all(1 not in c and -1 not in c for c in clauses)
+
+    def test_resolution_elimination_cascades(self):
+        rec = ModelReconstructor()
+        clauses, eliminated, unsat = eliminate_variables(
+            [fs(1, 2), fs(-1, 3)], num_vars=3, reconstructor=rec
+        )
+        assert not unsat
+        # Var 1 resolves to (2, 3); var 2 then becomes pure and the sweep
+        # eliminates it too, leaving nothing.
+        assert eliminated[0] == 1
+        assert clauses == []
+        # Reconstruction still produces a model of the original formula.
+        model = rec.extend([None, None, None, None])
+        assert CNF([[1, 2], [-1, 3]]).check_model(model)
+
+    def test_empty_resolvent_reports_unsat(self):
+        rec = ModelReconstructor()
+        _, _, unsat = eliminate_variables(
+            [fs(1), fs(-1)], num_vars=1, reconstructor=rec
+        )
+        assert unsat
+
+    def test_growth_bound_respected(self):
+        # 3 x 3 occurrences -> 9 resolvents > 6 originals: skip at growth 0.
+        pos = [fs(1, i) for i in (2, 3, 4)]
+        neg = [fs(-1, i) for i in (5, 6, 7)]
+        rec = ModelReconstructor()
+        _, eliminated, _ = eliminate_variables(
+            pos + neg, num_vars=7, reconstructor=rec, growth=0
+        )
+        assert 1 not in eliminated
+
+    def test_max_occurrences_respected(self):
+        clauses = [fs(1, i) for i in range(2, 30)]
+        rec = ModelReconstructor()
+        _, eliminated, _ = eliminate_variables(
+            clauses, num_vars=30, reconstructor=rec, max_occurrences=5
+        )
+        assert 1 not in eliminated
+
+    def test_reconstruction_satisfies_saved_clauses(self):
+        rec = ModelReconstructor()
+        clauses, eliminated, _ = eliminate_variables(
+            [fs(1, 2), fs(-1, 3)], num_vars=3, reconstructor=rec
+        )
+        # Model of the reduced formula: x2 false, x3 true satisfies (2,3).
+        model = [None, None, False, True]
+        rec.extend(model)
+        assert model[1] is not None
+        original = CNF([[1, 2], [-1, 3]])
+        assert original.check_model([None, model[1], False, True])
+
+
+class TestPipeline:
+    def test_unsat_detected_by_preprocessing_alone(self):
+        result = Preprocessor().preprocess(CNF([[1], [-1]]))
+        assert result.status is Status.UNSATISFIABLE
+
+    def test_empty_clause_detected(self):
+        result = Preprocessor().preprocess(CNF([[]]))
+        assert result.status is Status.UNSATISFIABLE
+
+    def test_stats_accumulate(self):
+        cnf = CNF([[1], [-1, 2], [2, 3, 4], [2, 3, 4, 5], [5, 6], [-5, 6]])
+        result = Preprocessor().preprocess(cnf)
+        assert result.stats.rounds >= 1
+        assert result.stats.fixed_variables >= 2
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            Preprocessor(max_rounds=0)
+
+    def test_passes_can_be_disabled(self):
+        pre = Preprocessor(
+            enable_subsumption=False,
+            enable_strengthening=False,
+            enable_probing=False,
+            enable_elimination=False,
+        )
+        cnf = CNF([[1, 2], [1, 2, 3]])
+        result = pre.preprocess(cnf)
+        assert result.stats.subsumed_clauses == 0
+        assert result.cnf.num_clauses == 2
+
+    def test_solve_with_preprocessing_model_verified(self):
+        cnf = random_ksat(30, 110, seed=3)
+        result = solve_with_preprocessing(cnf)
+        if result.status is Status.SATISFIABLE:
+            assert cnf.check_model(result.model)
+
+    def test_matches_plain_solver_on_families(self):
+        for cnf in (random_ksat(30, 126, seed=9), pigeonhole(3)):
+            assert (
+                solve_with_preprocessing(cnf).status
+                is Solver(cnf).solve().status
+            )
+
+
+@st.composite
+def small_cnfs(draw, max_vars: int = 7, max_clauses: int = 18):
+    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(st.lists(literal, min_size=1, max_size=4), max_size=max_clauses)
+    )
+    return CNF(clauses, num_vars=num_vars)
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_cnfs())
+def test_property_preprocessing_preserves_satisfiability(cnf):
+    expected = brute_force_status(cnf)
+    result = solve_with_preprocessing(cnf)
+    assert result.status is expected
+    if result.status is Status.SATISFIABLE:
+        assert cnf.check_model(result.model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_cnfs())
+def test_property_each_pass_preserves_satisfiability(cnf):
+    baseline = brute_force_status(cnf)
+    clauses = [frozenset(c.literals) for c in cnf.clauses if not c.is_tautology()]
+
+    subsumed, _ = subsume(clauses)
+    assert brute_force_status(
+        CNF([sorted(c) for c in subsumed], num_vars=cnf.num_vars)
+    ) is baseline
+
+    strengthened, _ = strengthen(clauses)
+    assert brute_force_status(
+        CNF([sorted(c) for c in strengthened], num_vars=cnf.num_vars)
+    ) is baseline

@@ -1,0 +1,88 @@
+"""Post-solve audit of solver-internal invariants.
+
+After any solve, the engine's data structures must be internally
+consistent: watch lists point at the first two literals of live
+clauses, learned clauses are well-formed (distinct literals, sane glue),
+and level-0 assignments are genuine formula consequences.
+"""
+
+import pytest
+
+from repro.cnf import random_ksat, pigeonhole
+from repro.policies import FrequencyPolicy
+from repro.selection.labeling import default_labeling_config
+from repro.solver import Solver, Status
+
+
+def audit(solver: Solver) -> None:
+    """Assert every internal invariant we can check from outside."""
+    # -- clause hygiene ---------------------------------------------------
+    for clause in solver.clause_db.original + solver.clause_db.learned:
+        if clause.garbage:
+            continue
+        variables = [lit >> 1 for lit in clause.lits]
+        assert len(set(clause.lits)) == len(clause.lits), "duplicate literals"
+        assert len(set(variables)) == len(variables), "tautological clause"
+        assert len(clause.lits) >= 2, "unit clauses never live in the DB"
+        if clause.learned:
+            assert clause.glue >= 1
+
+    # -- watch invariant ---------------------------------------------------
+    for clause in solver.clause_db.original + list(solver.clause_db.live_learned()):
+        if clause.garbage:
+            continue
+        for watched in clause.lits[:2]:
+            assert clause in solver.watches.watchers_of(watched), (
+                "watched literal not registered"
+            )
+
+    # -- watcher lists only reference known clauses -------------------------
+    known = set(
+        id(c) for c in solver.clause_db.original + solver.clause_db.learned
+    )
+    for lst in solver.watches.watches:
+        for clause in lst:
+            assert id(clause) in known or clause.garbage
+
+    # -- trail sanity -------------------------------------------------------
+    seen_vars = set()
+    for lit in solver.trail.trail:
+        var = lit >> 1
+        assert var not in seen_vars, "variable assigned twice on the trail"
+        seen_vars.add(var)
+        assert solver.trail.values[var] != -1
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_invariants_after_random_solve(seed):
+    cnf = random_ksat(60, 255, seed=seed)
+    solver = Solver(cnf, config=default_labeling_config())
+    solver.solve(max_conflicts=2000)
+    audit(solver)
+
+
+def test_invariants_after_reduction_heavy_run():
+    cnf = random_ksat(150, 645, seed=2)
+    solver = Solver(
+        cnf, policy=FrequencyPolicy(), config=default_labeling_config()
+    )
+    result = solver.solve(max_conflicts=4000)
+    assert result.stats.reductions > 0
+    audit(solver)
+
+
+def test_invariants_after_unsat():
+    solver = Solver(pigeonhole(5))
+    assert solver.solve().status is Status.UNSATISFIABLE
+    audit(solver)
+
+
+def test_invariants_survive_incremental_use():
+    cnf = random_ksat(40, 160, seed=2)
+    solver = Solver(cnf)
+    solver.solve()
+    solver.add_clause([-1, -2])
+    solver.solve()
+    solver.add_clause([3])
+    solver.solve(assumptions=[4])
+    audit(solver)

@@ -1,0 +1,114 @@
+"""Tests for watched-literal unit propagation."""
+
+from repro.solver.assignment import Trail
+from repro.solver.clause_db import SolverClause
+from repro.solver.propagate import Propagator
+from repro.solver.statistics import SolverStatistics
+from repro.solver.types import FALSE, TRUE, UNASSIGNED, encode
+from repro.solver.watchers import WatchLists
+
+
+def make_engine(num_vars):
+    trail = Trail(num_vars)
+    watches = WatchLists(num_vars)
+    stats = SolverStatistics()
+    return trail, watches, Propagator(trail, watches, stats), stats
+
+
+def attach(watches, lits):
+    clause = SolverClause([encode(l) for l in lits])
+    watches.attach(clause)
+    return clause
+
+
+class TestPropagation:
+    def test_unit_propagation_chain(self):
+        trail, watches, prop, stats = make_engine(3)
+        attach(watches, [-1, 2])
+        attach(watches, [-2, 3])
+        trail.assign(encode(1), None)
+        conflict = prop.propagate()
+        assert conflict is None
+        assert trail.value_var(2) == TRUE
+        assert trail.value_var(3) == TRUE
+        assert stats.propagations == 2
+
+    def test_no_propagation_when_satisfied(self):
+        trail, watches, prop, stats = make_engine(3)
+        attach(watches, [1, 2])
+        trail.assign(encode(1), None)
+        prop.propagate()
+        assert trail.value_var(2) == UNASSIGNED
+        assert stats.propagations == 0
+
+    def test_watch_relocation(self):
+        trail, watches, prop, _ = make_engine(4)
+        clause = attach(watches, [1, 2, 3, 4])
+        trail.assign(encode(-1), None)
+        prop.propagate()
+        # Watch moved off the falsified literal; no assignment forced.
+        assert trail.value_var(2) == UNASSIGNED
+        assert clause in watches.watchers_of(clause.lits[0]) or clause in watches.watchers_of(clause.lits[1])
+
+    def test_conflict_detection(self):
+        trail, watches, prop, _ = make_engine(2)
+        conflict_clause = attach(watches, [1, 2])
+        trail.assign(encode(-1), None)
+        trail.assign(encode(-2), None)
+        conflict = prop.propagate()
+        assert conflict is conflict_clause
+
+    def test_conflict_via_two_units(self):
+        trail, watches, prop, _ = make_engine(3)
+        attach(watches, [-1, 2])
+        attach(watches, [-1, -2])
+        trail.assign(encode(1), None)
+        conflict = prop.propagate()
+        assert conflict is not None
+
+    def test_reason_recorded_with_implied_literal_first(self):
+        trail, watches, prop, _ = make_engine(3)
+        clause = attach(watches, [-1, -2, 3])
+        trail.assign(encode(1), None)
+        trail.assign(encode(2), None)
+        prop.propagate()
+        assert trail.value_var(3) == TRUE
+        assert trail.reasons[3] is clause
+        assert clause.lits[0] == encode(3)
+
+    def test_garbage_clauses_skipped(self):
+        trail, watches, prop, _ = make_engine(2)
+        clause = attach(watches, [-1, 2])
+        clause.garbage = True
+        trail.assign(encode(1), None)
+        assert prop.propagate() is None
+        assert trail.value_var(2) == UNASSIGNED
+
+
+class TestFrequencyCounters:
+    def test_propagated_variables_counted(self):
+        trail, watches, prop, _ = make_engine(3)
+        attach(watches, [-1, 2])
+        attach(watches, [-2, 3])
+        trail.assign(encode(1), None)
+        prop.propagate()
+        assert prop.frequency[1] == 0  # decision, not propagation
+        assert prop.frequency[2] == 1
+        assert prop.frequency[3] == 1
+
+    def test_lifetime_survives_reset(self):
+        trail, watches, prop, _ = make_engine(2)
+        attach(watches, [-1, 2])
+        trail.assign(encode(1), None)
+        prop.propagate()
+        prop.reset_frequencies()
+        assert prop.frequency[2] == 0
+        assert prop.lifetime_frequency[2] == 1
+
+    def test_max_frequency(self):
+        trail, watches, prop, _ = make_engine(3)
+        attach(watches, [-1, 2])
+        attach(watches, [-1, 3])
+        trail.assign(encode(1), None)
+        prop.propagate()
+        assert prop.max_frequency() == 1

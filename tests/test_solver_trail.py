@@ -1,0 +1,123 @@
+"""Tests for the assignment trail."""
+
+import pytest
+
+from repro.solver.assignment import Trail
+from repro.solver.clause_db import SolverClause
+from repro.solver.types import FALSE, TRUE, UNASSIGNED, encode
+
+
+class TestTrailBasics:
+    def test_initial_state(self):
+        trail = Trail(4)
+        assert trail.decision_level == 0
+        assert trail.num_assigned() == 0
+        assert all(trail.value_var(v) == UNASSIGNED for v in range(1, 5))
+
+    def test_assign_sets_value_level_reason(self):
+        trail = Trail(3)
+        trail.new_decision_level()
+        clause = SolverClause([encode(1)])
+        trail.assign(encode(1), clause)
+        assert trail.value_var(1) == TRUE
+        assert trail.levels[1] == 1
+        assert trail.reasons[1] is clause
+
+    def test_negative_literal_assignment(self):
+        trail = Trail(3)
+        trail.assign(encode(-2), None)
+        assert trail.value_var(2) == FALSE
+        assert trail.value_lit(encode(-2)) == TRUE
+        assert trail.value_lit(encode(2)) == FALSE
+
+    def test_value_lit_unassigned(self):
+        trail = Trail(2)
+        assert trail.value_lit(encode(1)) == UNASSIGNED
+
+    def test_double_assign_asserts(self):
+        trail = Trail(2)
+        trail.assign(encode(1), None)
+        with pytest.raises(AssertionError):
+            trail.assign(encode(-1), None)
+
+    def test_all_assigned(self):
+        trail = Trail(2)
+        trail.assign(encode(1), None)
+        assert not trail.all_assigned()
+        trail.assign(encode(2), None)
+        assert trail.all_assigned()
+
+
+class TestBacktracking:
+    def test_backtrack_removes_above_level(self):
+        trail = Trail(5)
+        trail.assign(encode(1), None)  # level 0
+        trail.new_decision_level()
+        trail.assign(encode(2), None)
+        trail.assign(encode(3), None)
+        trail.new_decision_level()
+        trail.assign(encode(4), None)
+
+        undone = trail.backtrack(1)
+        assert [u >> 1 for u in undone] == [4]
+        assert trail.decision_level == 1
+        assert trail.value_var(4) == UNASSIGNED
+        assert trail.value_var(2) == TRUE
+
+    def test_backtrack_to_zero(self):
+        trail = Trail(3)
+        trail.assign(encode(1), None)
+        trail.new_decision_level()
+        trail.assign(encode(2), None)
+        trail.backtrack(0)
+        assert trail.decision_level == 0
+        assert trail.value_var(1) == TRUE  # level-0 assignment survives
+        assert trail.value_var(2) == UNASSIGNED
+
+    def test_backtrack_to_current_level_is_noop(self):
+        trail = Trail(2)
+        trail.new_decision_level()
+        trail.assign(encode(1), None)
+        assert trail.backtrack(1) == []
+        assert trail.value_var(1) == TRUE
+
+    def test_backtrack_resets_qhead(self):
+        trail = Trail(3)
+        trail.new_decision_level()
+        trail.assign(encode(1), None)
+        trail.assign(encode(2), None)
+        trail.qhead = 2
+        trail.backtrack(0)
+        assert trail.qhead == 0
+
+    def test_backtrack_clears_reasons(self):
+        trail = Trail(2)
+        trail.new_decision_level()
+        clause = SolverClause([encode(1), encode(2)])
+        trail.assign(encode(1), clause)
+        trail.backtrack(0)
+        assert trail.reasons[1] is None
+
+
+class TestModelAndReasons:
+    def test_model_reflects_assignment(self):
+        trail = Trail(3)
+        trail.assign(encode(1), None)
+        trail.assign(encode(-3), None)
+        model = trail.model()
+        assert model[1] is True
+        assert model[2] is None
+        assert model[3] is False
+
+    def test_is_reason(self):
+        trail = Trail(2)
+        clause = SolverClause([encode(1), encode(2)])
+        trail.assign(encode(1), clause)
+        assert trail.is_reason(clause)
+        other = SolverClause([encode(2), encode(1)])
+        assert not trail.is_reason(other)
+
+    def test_is_reason_false_when_unassigned(self):
+        trail = Trail(2)
+        clause = SolverClause([encode(1), encode(2)])
+        assert not trail.is_reason(clause)

@@ -1,0 +1,63 @@
+"""Tests for literal encoding and value types."""
+
+import pytest
+
+from repro.solver.types import (
+    FALSE,
+    TRUE,
+    UNASSIGNED,
+    Status,
+    decode,
+    encode,
+    is_positive,
+    lit_sign_value,
+    negate,
+    variable_of,
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("dimacs", [1, -1, 5, -5, 123, -123])
+    def test_round_trip(self, dimacs):
+        assert decode(encode(dimacs)) == dimacs
+
+    def test_positive_encoding_even(self):
+        assert encode(3) == 6
+        assert encode(-3) == 7
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            encode(0)
+
+    def test_negate_is_involution(self):
+        for lit in (2, 3, 10, 11):
+            assert negate(negate(lit)) == lit
+            assert negate(lit) != lit
+
+    def test_negate_flips_sign(self):
+        assert decode(negate(encode(4))) == -4
+        assert decode(negate(encode(-4))) == 4
+
+    def test_variable_of(self):
+        assert variable_of(encode(9)) == 9
+        assert variable_of(encode(-9)) == 9
+
+    def test_is_positive(self):
+        assert is_positive(encode(2))
+        assert not is_positive(encode(-2))
+
+    def test_lit_sign_value(self):
+        assert lit_sign_value(encode(1)) == TRUE
+        assert lit_sign_value(encode(-1)) == FALSE
+
+
+class TestStatus:
+    def test_no_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(Status.SATISFIABLE)
+
+    def test_values_distinct(self):
+        assert len({Status.SATISFIABLE, Status.UNSATISFIABLE, Status.UNKNOWN}) == 3
+
+    def test_constants(self):
+        assert TRUE == 1 and FALSE == 0 and UNASSIGNED == -1

@@ -1,0 +1,48 @@
+"""Tests for dataset persistence."""
+
+import pytest
+
+from repro.cnf import random_ksat
+from repro.selection import (
+    PolicyDataset,
+    build_dataset,
+    load_dataset,
+    save_dataset,
+)
+
+from tests.conftest import make_labeled
+
+
+class TestStorage:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        dataset = PolicyDataset(
+            train=[make_labeled(random_ksat(8, 20, seed=s), s % 2, year=2016 + s)
+                   for s in range(3)],
+            test=[make_labeled(random_ksat(8, 25, seed=9), 1, year=2022)],
+        )
+        path = tmp_path / "ds.json"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded.train) == 3 and len(loaded.test) == 1
+        for a, b in zip(dataset.all_instances(), loaded.all_instances()):
+            assert a.year == b.year
+            assert a.family == b.family
+            assert a.label == b.label
+            assert a.comparison == b.comparison
+            assert [c.literals for c in a.cnf.clauses] == [
+                c.literals for c in b.cnf.clauses
+            ]
+            assert a.cnf.num_vars == b.cnf.num_vars
+
+    def test_real_dataset_round_trip(self, tmp_path):
+        dataset = build_dataset(instances_per_year=1, max_conflicts=300)
+        path = tmp_path / "real.json"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.label_balance() == dataset.label_balance()
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "train": [], "test": []}')
+        with pytest.raises(ValueError, match="format version"):
+            load_dataset(path)

@@ -1,0 +1,76 @@
+"""Tests for failed-assumption core extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF, random_ksat
+from repro.solver import Solver, Status
+
+
+class TestCores:
+    def test_core_on_direct_contradiction(self):
+        cnf = CNF([[1, 2]], num_vars=3)
+        result = Solver(cnf).solve(assumptions=[3, -3])
+        assert result.status is Status.UNSATISFIABLE
+        assert set(result.core) <= {3, -3}
+        assert len(result.core) == 2
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        # x1 -> x2, assumption -2 conflicts with assumption 1; x5 irrelevant.
+        cnf = CNF([[-1, 2]], num_vars=5)
+        result = Solver(cnf).solve(assumptions=[5, 1, -2])
+        assert result.status is Status.UNSATISFIABLE
+        assert 5 not in result.core and -5 not in result.core
+        assert set(result.core) == {1, -2}
+
+    def test_core_single_when_formula_implies(self):
+        cnf = CNF([[1]], num_vars=2)
+        result = Solver(cnf).solve(assumptions=[-1])
+        assert result.status is Status.UNSATISFIABLE
+        assert result.core == [-1]
+
+    def test_no_core_on_sat(self):
+        cnf = CNF([[1, 2]])
+        result = Solver(cnf).solve(assumptions=[1])
+        assert result.status is Status.SATISFIABLE
+        assert result.core is None
+
+    def test_no_core_on_plain_unsat(self):
+        cnf = CNF([[1], [-1]])
+        result = Solver(cnf).solve(assumptions=[1])
+        assert result.status is Status.UNSATISFIABLE
+        assert result.core is None
+
+    def test_core_chain(self):
+        # 1 -> 2 -> 3 -> 4; assuming 1 and -4 is inconsistent.
+        cnf = CNF([[-1, 2], [-2, 3], [-3, 4]], num_vars=6)
+        result = Solver(cnf).solve(assumptions=[6, 1, -4])
+        assert result.status is Status.UNSATISFIABLE
+        assert set(result.core) == {1, -4}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(
+        st.integers(min_value=1, max_value=6).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=4,
+        unique_by=abs,
+    ),
+)
+def test_property_core_is_sufficient_for_unsat(seed, assumptions):
+    """Formula + core must itself be unsatisfiable, and the core must be a
+    subset of the assumptions."""
+    cnf = random_ksat(6, 18, seed=seed)
+    result = Solver(cnf).solve(assumptions=assumptions)
+    if result.status is not Status.UNSATISFIABLE or result.core is None:
+        return
+    assert set(result.core) <= set(assumptions)
+    hardened = CNF(
+        [list(c.literals) for c in cnf.clauses] + [[lit] for lit in result.core],
+        num_vars=cnf.num_vars,
+    )
+    assert Solver(hardened).solve().status is Status.UNSATISFIABLE

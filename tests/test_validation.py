@@ -1,0 +1,86 @@
+"""Tests for cross-validation utilities."""
+
+import pytest
+
+from repro.cnf import random_ksat
+from repro.models import NeuroSelect
+from repro.selection.validation import (
+    CrossValidationResult,
+    cross_validate,
+    k_fold_splits,
+)
+from repro.selection.metrics import ClassificationMetrics
+
+from tests.conftest import make_labeled
+
+
+@pytest.fixture
+def instances():
+    sparse = [make_labeled(random_ksat(10, 20, seed=s), 0) for s in range(6)]
+    dense = [make_labeled(random_ksat(10, 50, seed=s), 1) for s in range(6)]
+    return sparse + dense
+
+
+class TestKFoldSplits:
+    def test_covers_every_instance_exactly_once_as_validation(self, instances):
+        splits = k_fold_splits(instances, k=4, seed=0)
+        assert len(splits) == 4
+        validation_ids = [id(i) for _, val in splits for i in val]
+        assert sorted(validation_ids) == sorted(id(i) for i in instances)
+
+    def test_train_validation_disjoint(self, instances):
+        for train, validation in k_fold_splits(instances, k=3, seed=1):
+            assert not {id(i) for i in train} & {id(i) for i in validation}
+            assert len(train) + len(validation) == len(instances)
+
+    def test_stratified_balance(self, instances):
+        for _, validation in k_fold_splits(instances, k=3, seed=2, stratify=True):
+            positives = sum(i.label for i in validation)
+            assert 1 <= positives <= 3  # roughly half of each fold of 4
+
+    def test_unstratified_mode(self, instances):
+        splits = k_fold_splits(instances, k=3, seed=2, stratify=False)
+        assert len(splits) == 3
+
+    def test_k_too_small_rejected(self, instances):
+        with pytest.raises(ValueError):
+            k_fold_splits(instances, k=1)
+
+    def test_too_few_instances_rejected(self, instances):
+        with pytest.raises(ValueError):
+            k_fold_splits(instances[:2], k=5)
+
+    def test_deterministic(self, instances):
+        a = k_fold_splits(instances, k=3, seed=7)
+        b = k_fold_splits(instances, k=3, seed=7)
+        assert [[id(i) for i in val] for _, val in a] == [
+            [id(i) for i in val] for _, val in b
+        ]
+
+
+class TestCrossValidate:
+    def test_runs_all_folds(self, instances):
+        result = cross_validate(
+            lambda: NeuroSelect(hidden_dim=8, seed=0),
+            instances,
+            k=3,
+            epochs=3,
+        )
+        assert len(result.fold_metrics) == 3
+        assert 0.0 <= result.mean_accuracy <= 1.0
+        assert result.std_accuracy >= 0.0
+
+    def test_aggregates(self):
+        result = CrossValidationResult(
+            fold_metrics=[
+                ClassificationMetrics(1, 0, 1, 0),  # acc 1.0
+                ClassificationMetrics(0, 1, 1, 0),  # acc 0.5
+            ]
+        )
+        assert result.mean_accuracy == pytest.approx(0.75)
+        assert result.std_accuracy > 0
+
+    def test_empty_result(self):
+        result = CrossValidationResult()
+        assert result.mean_accuracy == 0.0
+        assert result.std_accuracy == 0.0

@@ -1,0 +1,101 @@
+"""Tests for clause vivification."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF
+from repro.simplify import Preprocessor, solve_with_preprocessing, vivify
+from repro.solver import Status, brute_force_status
+
+
+def fs(*lits):
+    return frozenset(lits)
+
+
+class TestVivify:
+    def test_redundant_literal_dropped(self):
+        # (1 2): assuming ¬1 propagates 2, so 3 is redundant in (1 2 3).
+        clauses = [fs(1, 2), fs(1, 2, 3)]
+        out, shortened = vivify(clauses)
+        assert shortened == 1
+        assert fs(1, 2) in out
+        assert fs(1, 2, 3) not in out
+
+    def test_implied_literal_truncates(self):
+        # ¬1 propagates 2 via (1 2); clause (1 3 2) can become (1 2).
+        clauses = [fs(1, 2), fs(1, 3, 2)]
+        out, shortened = vivify(clauses)
+        assert shortened == 1
+        assert all(len(c) <= 2 or c == fs(1, 2) for c in out)
+
+    def test_conflict_prefix(self):
+        # ¬1 alone conflicts via units (1): clause (1 2 3) shrinks.
+        clauses = [fs(1), fs(1, 2, 3)]
+        out, shortened = vivify(clauses)
+        assert shortened == 1
+
+    def test_binary_clauses_skipped(self):
+        clauses = [fs(1, 2), fs(-1, 3)]
+        out, shortened = vivify(clauses, min_size=3)
+        assert shortened == 0
+        assert out == clauses
+
+    def test_budget_respected(self):
+        clauses = [fs(i, i + 1, i + 2) for i in range(1, 40, 3)]
+        out, shortened = vivify(clauses, max_clauses=2)
+        assert shortened <= 2
+
+    def test_irreducible_untouched(self):
+        clauses = [fs(1, 2, 3), fs(-1, -2, -3), fs(4, 5, 6)]
+        out, shortened = vivify(clauses)
+        assert shortened == 0
+        assert set(out) == set(clauses)
+
+
+class TestVivifyInPipeline:
+    def test_pipeline_flag(self):
+        cnf = CNF([[1, 2], [1, 2, 3], [-3, 4, 5]])
+        result = Preprocessor(
+            enable_vivification=True, enable_subsumption=False,
+            enable_strengthening=False, enable_probing=False,
+            enable_elimination=False,
+        ).preprocess(cnf)
+        assert result.stats.vivified_clauses >= 1
+
+    def test_disabled_by_default(self):
+        cnf = CNF([[1, 2], [1, 2, 3]])
+        result = Preprocessor().preprocess(cnf)
+        assert result.stats.vivified_clauses == 0
+
+
+@st.composite
+def small_cnfs(draw, max_vars=6, max_clauses=14):
+    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(st.lists(literal, min_size=1, max_size=4), max_size=max_clauses)
+    )
+    return CNF(clauses, num_vars=num_vars)
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_cnfs())
+def test_property_vivification_preserves_satisfiability(cnf):
+    baseline = brute_force_status(cnf)
+    clauses = [frozenset(c.literals) for c in cnf.clauses if not c.is_tautology()]
+    vivified, _ = vivify(clauses)
+    rebuilt = CNF([sorted(c) for c in vivified], num_vars=cnf.num_vars)
+    assert brute_force_status(rebuilt) is baseline
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_cnfs())
+def test_property_full_pipeline_with_vivification(cnf):
+    expected = brute_force_status(cnf)
+    result = solve_with_preprocessing(
+        cnf, preprocessor=Preprocessor(enable_vivification=True)
+    )
+    assert result.status is expected
+    if result.status is Status.SATISFIABLE:
+        assert cnf.check_model(result.model)

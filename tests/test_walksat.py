@@ -1,0 +1,97 @@
+"""Tests for the WalkSAT local-search solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF, random_ksat
+from repro.solver import Solver, Status, brute_force_status
+from repro.solver.walksat import WalkSAT, walksat_phases
+
+
+class TestWalkSAT:
+    def test_solves_easy_sat(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3]])
+        result = WalkSAT(cnf, seed=1).solve(max_flips=1000)
+        assert result.satisfied
+        assert cnf.check_model(result.model)
+
+    def test_solves_random_sat_instances(self):
+        solved = 0
+        for seed in range(5):
+            cnf = random_ksat(30, 100, seed=seed)  # under-constrained: SAT
+            result = WalkSAT(cnf, seed=seed).solve(max_flips=50_000)
+            if result.satisfied:
+                solved += 1
+                assert cnf.check_model(result.model)
+        assert solved >= 4  # local search should crack most of these
+
+    def test_unsat_never_claims_model(self):
+        cnf = CNF([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        result = WalkSAT(cnf, seed=0).solve(max_flips=2000)
+        assert not result.satisfied
+        assert result.model is None
+        assert result.best_unsatisfied >= 1
+
+    def test_empty_clause_hopeless(self):
+        result = WalkSAT(CNF([[]])).solve(max_flips=10)
+        assert not result.satisfied
+
+    def test_flip_budget_respected(self):
+        cnf = random_ksat(50, 218, seed=3)
+        result = WalkSAT(cnf, seed=0).solve(max_flips=100)
+        assert result.flips <= 100
+
+    def test_noise_bounds(self):
+        with pytest.raises(ValueError):
+            WalkSAT(CNF([[1]]), noise=1.5)
+
+    def test_deterministic_per_seed(self):
+        cnf = random_ksat(20, 80, seed=4)
+        a = WalkSAT(cnf, seed=9).solve(max_flips=500)
+        b = WalkSAT(cnf, seed=9).solve(max_flips=500)
+        assert a.flips == b.flips
+        assert a.best_unsatisfied == b.best_unsatisfied
+
+    def test_best_assignment_tracks_minimum(self):
+        cnf = random_ksat(25, 110, seed=7)
+        result = WalkSAT(cnf, seed=2).solve(max_flips=300)
+        # The reported best must evaluate to exactly best_unsatisfied.
+        model = [None] + result.best_assignment[1:]
+        unsatisfied = sum(
+            1 for clause in cnf.clauses if not clause.satisfied_by(model)
+        )
+        assert unsatisfied == result.best_unsatisfied
+
+
+class TestPhaseSeeding:
+    def test_phases_vector_shape(self):
+        cnf = random_ksat(15, 50, seed=0)
+        phases = walksat_phases(cnf, max_flips=2000, seed=1)
+        assert len(phases) == cnf.num_vars + 1
+        assert all(isinstance(p, bool) for p in phases[1:])
+
+    def test_seeding_cdcl_with_walksat_phases(self):
+        cnf = random_ksat(40, 160, seed=2)  # satisfiable instance
+        phases = walksat_phases(cnf, max_flips=20_000, seed=0)
+        solver = Solver(cnf)
+        for var in range(1, cnf.num_vars + 1):
+            solver.decider.save_phase(var, phases[var])
+        result = solver.solve()
+        assert result.status is Status.SATISFIABLE
+        # With a (near-)model seeded, the search should be fast.
+        assert result.stats.conflicts < 1000
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_property_walksat_models_always_verify(seed):
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(3, 12)
+    m = rng.randint(1, 40)
+    cnf = random_ksat(n, m, k=min(3, n), seed=seed)
+    result = WalkSAT(cnf, seed=seed).solve(max_flips=3000)
+    if result.satisfied:
+        assert cnf.check_model(result.model)
+        assert brute_force_status(cnf) is Status.SATISFIABLE

@@ -1,0 +1,72 @@
+"""Additional unit tests: watch lists, statistics edge cases, calibration scale."""
+
+import pytest
+
+from repro.bench.calibration import EffortScale, PAPER_TIMEOUT_SECONDS
+from repro.solver.clause_db import SolverClause
+from repro.solver.statistics import SolverStatistics
+from repro.solver.watchers import WatchLists
+
+
+class TestWatchLists:
+    def test_attach_requires_two_literals(self):
+        watches = WatchLists(3)
+        with pytest.raises(AssertionError):
+            watches.attach(SolverClause([2]))
+
+    def test_attach_registers_both_watches(self):
+        watches = WatchLists(3)
+        clause = SolverClause([2, 4, 6])
+        watches.attach(clause)
+        assert clause in watches.watchers_of(2)
+        assert clause in watches.watchers_of(4)
+        assert clause not in watches.watchers_of(6)
+        assert watches.total_watches() == 2
+
+    def test_detach_garbage_sweeps_everywhere(self):
+        watches = WatchLists(3)
+        keep = SolverClause([2, 4])
+        drop = SolverClause([2, 6])
+        watches.attach(keep)
+        watches.attach(drop)
+        drop.garbage = True
+        watches.detach_garbage()
+        assert keep in watches.watchers_of(2)
+        assert drop not in watches.watchers_of(2)
+        assert watches.total_watches() == 2
+
+    def test_manual_watch(self):
+        watches = WatchLists(2)
+        clause = SolverClause([2, 4])
+        watches.watch(4, clause)
+        assert watches.watchers_of(4) == [clause]
+
+
+class TestStatisticsEdges:
+    def test_mean_glue_zero_when_no_learning(self):
+        stats = SolverStatistics()
+        assert stats.mean_glue() == 0.0
+        assert stats.mean_learned_size() == 0.0
+
+    def test_means(self):
+        stats = SolverStatistics(
+            learned_clauses=4, glue_sum=12, learned_literals=20
+        )
+        assert stats.mean_glue() == 3.0
+        assert stats.mean_learned_size() == 5.0
+
+    def test_reset_clears_all_counters(self):
+        stats = SolverStatistics(decisions=5, propagations=9, glue_sum=3)
+        stats.reset()
+        assert all(v == 0 for v in vars(stats).values())
+
+
+class TestEffortScaleEdges:
+    def test_paper_timeout_constant(self):
+        assert PAPER_TIMEOUT_SECONDS == 5000.0
+
+    def test_custom_timeout(self):
+        scale = EffortScale(propagations_at_timeout=100, timeout_seconds=10.0)
+        assert scale.to_seconds(50) == pytest.approx(5.0)
+        assert scale.to_seconds(1000) == 10.0
+        assert scale.propagations_per_second == pytest.approx(10.0)

@@ -1,0 +1,185 @@
+"""Tests for XOR recovery and GF(2) Gaussian elimination."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import CNF, parity_chain
+from repro.cnf.generators import _xor_clauses
+from repro.simplify import Preprocessor, solve_with_preprocessing
+from repro.simplify.xor_gauss import (
+    GF2System,
+    XorConstraint,
+    _expected_group,
+    gaussian_eliminate,
+    recover_xors,
+)
+from repro.solver import Solver, Status, brute_force_status
+
+
+def xor_cnf_clauses(variables, parity):
+    return [frozenset(c) for c in _xor_clauses(list(variables), parity)]
+
+
+class TestRecovery:
+    def test_group_matches_generator_encoding(self):
+        for arity in (2, 3, 4):
+            for rhs in (0, 1):
+                variables = tuple(range(1, arity + 1))
+                group = _expected_group(variables, rhs)
+                generated = set(xor_cnf_clauses(variables, rhs))
+                assert group == generated
+
+    def test_recovers_single_xor(self):
+        clauses = xor_cnf_clauses((1, 2, 3), 1)
+        xors = recover_xors(clauses)
+        assert xors == [XorConstraint(variables=(1, 2, 3), rhs=1)]
+
+    def test_incomplete_group_not_recovered(self):
+        clauses = xor_cnf_clauses((1, 2, 3), 1)[:-1]
+        assert recover_xors(clauses) == []
+
+    def test_arity_limit(self):
+        clauses = xor_cnf_clauses((1, 2, 3, 4, 5, 6), 0)
+        assert recover_xors(clauses, max_arity=5) == []
+        assert recover_xors(clauses, max_arity=6) != []
+
+    def test_mixed_with_ordinary_clauses(self):
+        clauses = xor_cnf_clauses((1, 2), 1) + [frozenset([3, 4, 5])]
+        xors = recover_xors(clauses)
+        assert len(xors) == 1
+        assert xors[0].variables == (1, 2)
+
+
+class TestGF2System:
+    def test_inconsistent_system(self):
+        system = GF2System([
+            XorConstraint((1, 2), 0),
+            XorConstraint((1, 2), 1),
+        ])
+        system.eliminate()
+        assert system.inconsistent
+
+    def test_unit_derivation(self):
+        # x1 ^ x2 = 1, x2 = 1  =>  x1 = 0.
+        system = GF2System([
+            XorConstraint((1, 2), 1),
+            XorConstraint((2,), 1),
+        ])
+        system.eliminate()
+        assert not system.inconsistent
+        assert set(system.units()) == {-1, 2}
+
+    def test_equivalence_derivation(self):
+        # x1 ^ x2 ^ x3 = 0, x3 = 0  =>  x1 = x2.
+        system = GF2System([
+            XorConstraint((1, 2, 3), 0),
+            XorConstraint((3,), 0),
+        ])
+        system.eliminate()
+        assert (1, 2) in system.equivalences()
+
+    def test_chain_collapse(self):
+        # x1^x2=1, x2^x3=1, x3^x1=1 is odd-cycle inconsistent.
+        system = GF2System([
+            XorConstraint((1, 2), 1),
+            XorConstraint((2, 3), 1),
+            XorConstraint((1, 3), 1),
+        ])
+        system.eliminate()
+        assert system.inconsistent
+
+    def test_invalid_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            XorConstraint((2, 1), 0)  # unsorted
+        with pytest.raises(ValueError):
+            XorConstraint((1,), 2)  # bad rhs
+
+
+class TestGaussianEliminate:
+    def test_parity_contradiction_detected_instantly(self):
+        cnf = parity_chain(24, seed=1, contradiction=True)
+        clauses = [frozenset(c.literals) for c in cnf.clauses]
+        _, _, unsat = gaussian_eliminate(clauses)
+        assert unsat
+
+    def test_consistent_parity_not_flagged(self):
+        cnf = parity_chain(24, seed=1, contradiction=False)
+        clauses = [frozenset(c.literals) for c in cnf.clauses]
+        _, _, unsat = gaussian_eliminate(clauses)
+        assert not unsat
+
+    def test_known_units_not_reported_again(self):
+        clauses = xor_cnf_clauses((1, 2), 1) + [frozenset([2])]
+        units, _, unsat = gaussian_eliminate(clauses)
+        assert not unsat
+        assert units == [-1]
+
+    def test_no_xors_is_noop(self):
+        units, equivs, unsat = gaussian_eliminate([frozenset([1, 2, 3])])
+        assert units == [] and equivs == [] and not unsat
+
+
+class TestPipelineIntegration:
+    def test_parity_contradiction_decided_without_search(self):
+        cnf = parity_chain(30, seed=2, contradiction=True)
+        result = Preprocessor().preprocess(cnf)
+        assert result.status is Status.UNSATISFIABLE
+
+    def test_flag_disables(self):
+        cnf = parity_chain(8, seed=2, contradiction=True)
+        result = Preprocessor(
+            enable_xor_gauss=False,
+            enable_elimination=False,
+            enable_strengthening=False,
+            enable_probing=False,
+            enable_subsumption=False,
+            enable_equivalences=False,
+        ).preprocess(cnf)
+        assert result.status is Status.UNKNOWN  # nothing else decides it
+
+    def test_stats_counted(self):
+        # XOR(1,2,3)=1 combined with XOR(1,2)=0 forces x3=1 — a unit only
+        # Gaussian elimination can see (no clause-level propagation fires).
+        clauses = [list(c) for c in xor_cnf_clauses((1, 2, 3), 1)]
+        clauses += [list(c) for c in xor_cnf_clauses((1, 2), 0)]
+        clauses.append([3, 4, 5])
+        cnf = CNF(clauses)
+        result = Preprocessor(
+            enable_elimination=False, enable_equivalences=False
+        ).preprocess(cnf)
+        assert result.stats.xor_units >= 1
+        assert result.fixed.get(3) is True
+
+    def test_gauss_speedup_on_parity(self):
+        """The pass decides in preprocessing what CDCL needs thousands of
+        conflicts for."""
+        cnf = parity_chain(20, seed=4, contradiction=True)
+        with_gauss = solve_with_preprocessing(cnf)
+        assert with_gauss.status is Status.UNSATISFIABLE
+        assert with_gauss.stats.conflicts == 0  # decided before search
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=500),
+)
+def test_property_gauss_preserves_satisfiability(num_vars, seed):
+    """Random small XOR systems + noise clauses: pipeline matches oracle."""
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(rng.randint(1, 3)):
+        arity = rng.randint(2, min(3, num_vars))
+        variables = sorted(rng.sample(range(1, num_vars + 1), arity))
+        clauses.extend(list(c) for c in xor_cnf_clauses(tuple(variables), rng.randint(0, 1)))
+    for _ in range(rng.randint(0, 4)):
+        v = rng.randint(1, num_vars)
+        clauses.append([v if rng.random() < 0.5 else -v])
+    cnf = CNF(clauses, num_vars=num_vars)
+    expected = brute_force_status(cnf)
+    result = solve_with_preprocessing(cnf)
+    assert result.status is expected
+    if result.status is Status.SATISFIABLE:
+        assert cnf.check_model(result.model)
