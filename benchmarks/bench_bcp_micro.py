@@ -1,0 +1,439 @@
+"""BCP micro-benchmark: optimized hot path vs the pre-overhaul engine.
+
+Measures raw unit-propagation throughput (props/sec) of the current
+blocking-literal / binary-specialized propagator against a faithful
+in-file copy of the seed engine (plain two-watched-literal lists, no
+blocking literals, no binary specialization), on fixed-seed workloads:
+
+* ``3sat``    — uniform random 3-SAT at the phase transition;
+* ``mixed``   — 55% binary clauses, the shape of a learned-clause
+  database mid-search (CDCL learns many short clauses);
+* ``binary``  — pure binary clauses (implication-graph-dense shape:
+  equivalence chains, at-most-one encodings);
+* ``long``    — wide clauses (k in 4..9) where the blocking literal
+  skips most clause dereferences.
+
+Both engines replay the *same* fixed-seed decision sequence, so they do
+identical logical work; only the propagation machinery differs.  The
+aggregate figure is total propagations over total seconds across all
+workloads.  A second section times the end-to-end labeling pipeline and
+the ParallelRunner (workers=4 vs 1) on a 20-instance dataset.
+
+Results land in ``BENCH_bcp.json`` at the repo root (before/after
+props/sec per workload, aggregate speedup, labeling wall-clock).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks every size and skips the
+timing assertions so CI can exercise the code path in seconds.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_bcp_micro.py``
+or via pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_bcp_micro.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cnf.formula import CNF
+from repro.cnf.generators import random_ksat
+from repro.parallel import ParallelRunner
+from repro.selection.labeling import label_instances
+from repro.solver.assignment import Trail
+from repro.solver.clause_db import SolverClause
+from repro.solver.propagate import Propagator
+from repro.solver.statistics import SolverStatistics
+from repro.solver.types import TRUE, UNASSIGNED, encode
+from repro.solver.watchers import WatchLists
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_bcp.json"
+
+# Replay passes per workload; smoke mode only proves the path runs.
+PASSES = 4 if SMOKE else 60
+LABEL_INSTANCES = 4 if SMOKE else 20
+LABEL_VARS = 30 if SMOKE else 60
+LABEL_CONFLICTS = 300 if SMOKE else 3000
+
+
+# --------------------------------------------------------------------------
+# Seed engine (pre-overhaul), copied verbatim in behaviour: one watch
+# table of clause objects, per-visit garbage checks, variable-indexed
+# truth lookups, tuple-free but allocation-heavy relocation.
+# --------------------------------------------------------------------------
+
+
+class LegacyTrail:
+    """Seed trail: variable-indexed values only (no lit_values array)."""
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        n = num_vars + 1
+        self.values = [UNASSIGNED] * n
+        self.levels = [0] * n
+        self.reasons: List[Optional[SolverClause]] = [None] * n
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def new_decision_level(self) -> None:
+        self.trail_lim.append(len(self.trail))
+
+    def assign(self, lit: int, reason: Optional[SolverClause]) -> None:
+        var = lit >> 1
+        self.values[var] = 0 if (lit & 1) else 1
+        self.levels[var] = self.decision_level
+        self.reasons[var] = reason
+        self.trail.append(lit)
+
+    def backtrack(self, level: int) -> None:
+        if level >= self.decision_level:
+            return
+        boundary = self.trail_lim[level]
+        for lit in self.trail[boundary:]:
+            var = lit >> 1
+            self.values[var] = UNASSIGNED
+            self.reasons[var] = None
+        del self.trail[boundary:]
+        del self.trail_lim[level:]
+        self.qhead = min(self.qhead, len(self.trail))
+
+
+class LegacyWatchLists:
+    """Seed watch lists: every clause (binary included) in one table."""
+
+    def __init__(self, num_vars: int):
+        self.watches: List[List[SolverClause]] = [
+            [] for _ in range(2 * (num_vars + 1))
+        ]
+
+    def attach(self, clause: SolverClause) -> None:
+        self.watches[clause.lits[0]].append(clause)
+        self.watches[clause.lits[1]].append(clause)
+
+
+class LegacyPropagator:
+    """Seed propagation loop: no blocking literals, no binary table."""
+
+    def __init__(self, trail: LegacyTrail, watches: LegacyWatchLists,
+                 stats: SolverStatistics):
+        self.trail = trail
+        self.watches = watches
+        self.stats = stats
+        self.frequency = [0] * (trail.num_vars + 1)
+        self.lifetime_frequency = [0] * (trail.num_vars + 1)
+
+    def _record_propagation(self, var: int) -> None:
+        self.frequency[var] += 1
+        self.lifetime_frequency[var] += 1
+        self.stats.propagations += 1
+
+    def propagate(self) -> Optional[SolverClause]:
+        trail = self.trail
+        values = trail.values
+        watches = self.watches.watches
+        while trail.qhead < len(trail.trail):
+            lit = trail.trail[trail.qhead]
+            trail.qhead += 1
+            false_lit = lit ^ 1
+            watchers = watches[false_lit]
+            i = j = 0
+            n = len(watchers)
+            conflict = None
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                if clause.garbage:
+                    continue
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                v0 = values[first >> 1]
+                if v0 != UNASSIGNED and (v0 ^ (first & 1)) == TRUE:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    candidate = lits[k]
+                    vk = values[candidate >> 1]
+                    if vk == UNASSIGNED or (vk ^ (candidate & 1)) == TRUE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        watches[candidate].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                watchers[j] = clause
+                j += 1
+                if v0 == UNASSIGNED:
+                    trail.assign(first, clause)
+                    self._record_propagation(first >> 1)
+                else:
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    conflict = clause
+            del watchers[j:]
+            if conflict is not None:
+                trail.qhead = len(trail.trail)
+                return conflict
+        return None
+
+
+# --------------------------------------------------------------------------
+# Workloads and the replay harness
+# --------------------------------------------------------------------------
+
+
+def mixed_cnf(num_vars: int, num_clauses: int, frac_binary: float,
+              seed: int) -> CNF:
+    """Random formula mixing binary and ternary clauses (fixed seed)."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = 2 if rng.random() < frac_binary else 3
+        variables = rng.sample(range(1, num_vars + 1), width)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return CNF(clauses, num_vars=num_vars)
+
+
+def long_cnf(num_vars: int, num_clauses: int, seed: int) -> CNF:
+    """Random formula of wide clauses (k uniform in 4..9)."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(4, 9)
+        variables = rng.sample(range(1, num_vars + 1), width)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return CNF(clauses, num_vars=num_vars)
+
+
+def workloads():
+    """The fixed-seed workload mix (scaled down in smoke mode).
+
+    The mixed workload is 55% binary — the shape of a clause database
+    mid-search, where learned clauses skew heavily toward binaries.
+    The pure-binary workload models implication-graph-dense instances
+    (equivalence chains, at-most-one encodings), the case the dedicated
+    binary watch lists target directly.
+    """
+    scale = 8 if SMOKE else 1
+    return [
+        ("3sat", random_ksat(400 // scale, 1680 // scale, seed=11)),
+        ("mixed", mixed_cnf(400 // scale, 1900 // scale, 0.55, 12)),
+        ("binary", mixed_cnf(400 // scale, 1000 // scale, 1.0, 14)),
+        ("long", long_cnf(200 // scale, 3500 // scale, 13)),
+    ]
+
+
+def build_engine(engine: str, cnf: CNF):
+    """Instantiate (trail, propagator) with the formula attached."""
+    n = cnf.num_vars
+    stats = SolverStatistics()
+    if engine == "legacy":
+        trail = LegacyTrail(n)
+        watches = LegacyWatchLists(n)
+        prop = LegacyPropagator(trail, watches, stats)
+    else:
+        trail = Trail(n)
+        watches = WatchLists(n)
+        prop = Propagator(trail, watches, stats)
+    for clause in cnf.clauses:
+        lits = [encode(lit) for lit in clause.literals]
+        if len(lits) >= 2:
+            watches.attach(SolverClause(lits))
+    return trail, prop, stats
+
+
+def replay(engine: str, cnf: CNF, seed: int, passes: int):
+    """Replay a fixed-seed decision sequence; return (props, seconds).
+
+    Each pass walks the same shuffled literal order, assigning every
+    still-unassigned variable as a decision and propagating; a conflict
+    resets to level 0.  Deterministic, allocation-stable, and BCP
+    dominates the profile (~85% of runtime).
+    """
+    trail, prop, stats = build_engine(engine, cnf)
+    rng = random.Random(seed)
+    order = [
+        encode(v if rng.random() < 0.5 else -v)
+        for v in range(1, cnf.num_vars + 1)
+    ]
+    rng.shuffle(order)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    # CPU time, not wall time: the replay is single-threaded pure
+    # compute, and process_time is immune to VM steal / descheduling,
+    # which otherwise dominates the noise on shared runners.
+    start = time.process_time()
+    for _ in range(passes):
+        for lit in order:
+            if trail.values[lit >> 1] != UNASSIGNED:
+                continue
+            trail.new_decision_level()
+            trail.assign(lit, None)
+            if prop.propagate() is not None:
+                trail.backtrack(0)
+        trail.backtrack(0)
+    elapsed = time.process_time() - start
+    if gc_was_enabled:
+        gc.enable()
+    return stats.propagations, elapsed
+
+
+def run_bcp_comparison():
+    """Both engines over every workload; per-workload and aggregate.
+
+    Each (engine, workload) cell is timed ``REPEATS`` times and the
+    fastest run is kept — the standard defence against scheduler noise,
+    which on a busy single-core box easily exceeds the effect size.
+    """
+    repeats = 1 if SMOKE else 3
+    per_workload = {}
+    totals = {"legacy": [0, 0.0], "new": [0, 0.0]}
+    for name, cnf in workloads():
+        # Interleave the engines across repeats so slow phases of the
+        # host (frequency scaling, steal time) hit both evenly.
+        best = {}
+        for _ in range(repeats):
+            for engine in ("legacy", "new"):
+                props, seconds = replay(engine, cnf, seed=99, passes=PASSES)
+                if engine not in best:
+                    best[engine] = (props, seconds)
+                else:
+                    assert best[engine][0] == props  # deterministic replay
+                    best[engine] = (props, min(best[engine][1], seconds))
+        entry = {}
+        for engine in ("legacy", "new"):
+            props, seconds = best[engine]
+            entry[engine] = {
+                "propagations": props,
+                "seconds": round(seconds, 4),
+                "props_per_sec": round(props / seconds, 1),
+            }
+            totals[engine][0] += props
+            totals[engine][1] += seconds
+        # Same decision replay => near-identical logical work.  Counts
+        # are not bit-identical: on a conflicting pass each engine stops
+        # at the point *its* visit order detects the conflict, so a few
+        # propagations near conflicts differ.  Anything beyond a few
+        # percent would mean the harness is comparing different work.
+        legacy_props = entry["legacy"]["propagations"]
+        new_props = entry["new"]["propagations"]
+        assert abs(legacy_props - new_props) <= 0.05 * legacy_props, (
+            name, legacy_props, new_props,
+        )
+        entry["speedup"] = round(
+            entry["new"]["props_per_sec"] / entry["legacy"]["props_per_sec"], 3
+        )
+        per_workload[name] = entry
+    aggregate = {
+        engine: round(props / seconds, 1)
+        for engine, (props, seconds) in totals.items()
+    }
+    aggregate["speedup"] = round(aggregate["new"] / aggregate["legacy"], 3)
+    return {"workloads": per_workload, "aggregate": aggregate}
+
+
+def run_labeling_comparison():
+    """End-to-end labeling wall-clock: serial vs 4 workers vs cached."""
+    cnfs = [
+        random_ksat(LABEL_VARS, int(LABEL_VARS * 4.3), seed=500 + i)
+        for i in range(LABEL_INSTANCES)
+    ]
+    start = time.perf_counter()
+    serial = label_instances(cnfs, max_conflicts=LABEL_CONFLICTS, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = label_instances(cnfs, max_conflicts=LABEL_CONFLICTS, workers=4)
+    parallel_seconds = time.perf_counter() - start
+    assert [c.label for c in serial] == [c.label for c in parallel]
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = ParallelRunner(workers=4, cache_dir=tmp)
+        label_instances(cnfs, max_conflicts=LABEL_CONFLICTS, runner=runner)
+        cold_executed = runner.last_stats.executed
+        runner = ParallelRunner(workers=4, cache_dir=tmp)
+        start = time.perf_counter()
+        label_instances(cnfs, max_conflicts=LABEL_CONFLICTS, runner=runner)
+        cached_seconds = time.perf_counter() - start
+        warm_hits = runner.last_stats.cache_hits
+        warm_executed = runner.last_stats.executed
+
+    return {
+        "instances": LABEL_INSTANCES,
+        "max_conflicts": LABEL_CONFLICTS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "workers4_seconds": round(parallel_seconds, 3),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "cold_executed": cold_executed,
+        "warm_cache_hits": warm_hits,
+        "warm_executed": warm_executed,
+        "warm_seconds": round(cached_seconds, 3),
+    }
+
+
+def run_all():
+    """Full benchmark; returns the BENCH_bcp.json payload."""
+    bcp = run_bcp_comparison()
+    labeling = run_labeling_comparison()
+    payload = {
+        "smoke": SMOKE,
+        "passes": PASSES,
+        "bcp": bcp,
+        "labeling": labeling,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_bcp_micro():
+    """Pytest entry point; asserts the tentpole targets outside smoke."""
+    payload = run_all()
+    bcp = payload["bcp"]
+    labeling = payload["labeling"]
+    for name, entry in bcp["workloads"].items():
+        assert entry["legacy"]["propagations"] > 0, name
+    assert labeling["warm_executed"] == 0
+    assert labeling["warm_cache_hits"] == 2 * labeling["instances"]
+    if not SMOKE:
+        assert bcp["aggregate"]["speedup"] >= 1.5, bcp["aggregate"]
+        if (os.cpu_count() or 1) >= 2:
+            # Process fan-out can't beat serial on a single core.
+            assert labeling["parallel_speedup"] > 1.0, labeling
+
+
+def main():
+    payload = run_all()
+    print(json.dumps(payload, indent=2))
+    agg = payload["bcp"]["aggregate"]
+    print(
+        f"\naggregate BCP: {agg['legacy']:,.0f} -> {agg['new']:,.0f} props/s "
+        f"({agg['speedup']}x)"
+    )
+    lab = payload["labeling"]
+    print(
+        f"labeling {lab['instances']} instances: serial {lab['serial_seconds']}s, "
+        f"4 workers {lab['workers4_seconds']}s ({lab['parallel_speedup']}x), "
+        f"warm cache {lab['warm_seconds']}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ Subpackages
 ``repro.models``
     The NeuroSelect Hybrid Graph Transformer (MPNN + linear attention)
     and the baseline classifiers of Table 2.
+``repro.parallel``
+    Instance-level parallel execution: multiprocessing fan-out with an
+    on-disk result cache keyed by (formula, policy, config, budgets).
 ``repro.selection``
     Label generation, datasets, training, metrics, and the end-to-end
     NeuroSelect-Kissat selector.

@@ -5,10 +5,12 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.calibration import EffortScale
 from repro.cnf.formula import CNF
+from repro.parallel.runner import ParallelRunner, SolveOutcome, SolveTask
 from repro.selection.labeling import default_labeling_config
 from repro.policies.registry import get_policy
 from repro.solver.solver import Solver, SolverConfig
@@ -66,23 +68,49 @@ def run_suite(
     policy_name: str,
     max_propagations: int,
     config: Optional[SolverConfig] = None,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[InstanceRecord]:
-    """Run every ``LabeledInstance`` (or CNF) under one policy."""
-    records = []
-    for i, inst in enumerate(instances):
-        cnf = getattr(inst, "cnf", inst)
-        family = getattr(inst, "family", "")
-        records.append(
-            run_instance(
-                cnf,
-                policy_name,
-                max_propagations,
-                name=f"inst-{i:03d}",
-                family=family,
-                config=config,
-            )
+    """Run every ``LabeledInstance`` (or CNF) under one policy.
+
+    ``workers`` fans the suite out across processes and ``cache_dir``
+    (or a pre-built ``runner``) adds the on-disk result cache, so
+    repeated suite runs — e.g. the same instances under several policies
+    and budgets across benchmark sessions — never re-solve a pair.  The
+    records are identical to the sequential path; the solver is
+    deterministic per (instance, policy, config, budgets).
+    """
+    if runner is None:
+        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+    families = [getattr(inst, "family", "") for inst in instances]
+    tasks = [
+        SolveTask(
+            cnf=getattr(inst, "cnf", inst),
+            policy=policy_name,
+            config=config or default_labeling_config(),
+            max_propagations=max_propagations,
+            tag=f"inst-{i:03d}",
         )
-    return records
+        for i, inst in enumerate(instances)
+    ]
+    outcomes = runner.run(tasks)
+    return [
+        _record_from_outcome(outcome, family)
+        for outcome, family in zip(outcomes, families)
+    ]
+
+
+def _record_from_outcome(outcome: SolveOutcome, family: str) -> InstanceRecord:
+    return InstanceRecord(
+        name=outcome.tag,
+        family=family,
+        policy=outcome.policy,
+        status=outcome.status,
+        propagations=outcome.propagations,
+        conflicts=outcome.conflicts,
+        wall_seconds=outcome.wall_seconds,
+    )
 
 
 @dataclass(frozen=True)

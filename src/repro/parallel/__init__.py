@@ -1,0 +1,41 @@
+"""Parallel instance-level execution with on-disk result caching.
+
+The engine solves one instance per process; everything around it —
+dual-policy labelling, dataset construction, benchmark suites — is
+embarrassingly parallel across instances.  This package provides:
+
+* :class:`~repro.parallel.runner.ParallelRunner` — fan
+  :class:`~repro.parallel.runner.SolveTask` lists out over a
+  ``multiprocessing`` pool, returning ordered, deterministic
+  :class:`~repro.parallel.runner.SolveOutcome` records;
+* :class:`~repro.parallel.cache.ResultCache` — content-addressed JSON
+  store so a previously solved *(instance, policy, config, budgets)*
+  combination is never solved again;
+* :class:`~repro.parallel.progress.ProgressAggregator` — live counts of
+  executed / cached / solved tasks plus cumulative solver effort.
+
+``repro.selection.labeling``, ``repro.selection.dataset``, and
+``repro.bench.runner`` all route through this layer.
+"""
+
+from repro.parallel.cache import CACHE_FORMAT_VERSION, ResultCache, solve_cache_key
+from repro.parallel.progress import ProgressAggregator
+from repro.parallel.runner import (
+    ParallelRunner,
+    RunnerStats,
+    SolveOutcome,
+    SolveTask,
+    execute_task,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ParallelRunner",
+    "ProgressAggregator",
+    "ResultCache",
+    "RunnerStats",
+    "SolveOutcome",
+    "SolveTask",
+    "execute_task",
+    "solve_cache_key",
+]

@@ -1,0 +1,106 @@
+"""On-disk result cache for solver runs.
+
+Labelling solves every training instance twice (once per deletion
+policy), and dataset construction repeats across sessions, ablations,
+and benchmark reruns.  The cache makes each *(instance, policy, config,
+budgets)* combination a solve-once affair: results are stored as small
+JSON documents keyed by a SHA-256 fingerprint of the task, so a re-run
+of a labelled dataset — or of a single instance inside a bigger sweep —
+is a disk read instead of a solver run.
+
+Keys are content-addressed: the CNF enters the fingerprint as its
+canonical DIMACS text, so two structurally identical formulas built
+through different code paths share a cache entry, while any change to
+the formula, the policy, the solver configuration, or the effort
+budgets produces a fresh key.  The store layout is two-level
+(``<root>/<key[:2]>/<key>.json``) to keep directories small, and writes
+are atomic (temp file + ``os.replace``) so a crashed or concurrent run
+never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Bump when the cached payload layout changes; old entries then miss.
+CACHE_FORMAT_VERSION = 1
+
+
+def config_fingerprint(config: Optional[object]) -> Optional[Dict[str, Any]]:
+    """A JSON-able snapshot of a :class:`SolverConfig` (or None)."""
+    if config is None:
+        return None
+    return dataclasses.asdict(config)
+
+
+def solve_cache_key(
+    dimacs: str,
+    policy: str,
+    config: Optional[object],
+    budgets: Dict[str, Optional[int]],
+) -> str:
+    """Deterministic key for one (formula, policy, config, budgets) task."""
+    document = {
+        "format": CACHE_FORMAT_VERSION,
+        "dimacs": dimacs,
+        "policy": policy,
+        "config": config_fingerprint(config),
+        "budgets": {k: budgets[k] for k in sorted(budgets)},
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of JSON solve results, addressed by task fingerprint."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored payload for ``key``, or None.  Corrupt entries are misses."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = dict(payload)
+        document["format"] = CACHE_FORMAT_VERSION
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document))
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,69 @@
+"""Progress and statistics aggregation for fanned-out solve runs.
+
+A :class:`ProgressAggregator` is fed one event per finished task by the
+runner (from whichever process delivered the result) and keeps the
+aggregate picture: how many tasks ran vs. hit the cache, how many were
+decided within budget, cumulative solver effort, and per-policy
+breakdowns.  An optional callback receives ``(done, total, outcome)``
+after every event — the hook for progress bars or log lines — while the
+default stays silent, so library callers get statistics without output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.solver.types import Status
+
+
+class ProgressAggregator:
+    """Collects completion events from a runner into summary statistics."""
+
+    def __init__(
+        self,
+        total: int = 0,
+        callback: Optional[Callable[[int, int, object], None]] = None,
+    ):
+        self.total = total
+        self.callback = callback
+        self.reset()
+
+    def reset(self) -> None:
+        self.done = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.solved = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.wall_seconds = 0.0
+        self.by_policy: Dict[str, int] = {}
+
+    def record(self, outcome) -> None:
+        """Account one finished :class:`~repro.parallel.runner.SolveOutcome`."""
+        self.done += 1
+        if outcome.cached:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+        if outcome.status is not Status.UNKNOWN:
+            self.solved += 1
+        self.propagations += outcome.propagations
+        self.conflicts += outcome.conflicts
+        self.wall_seconds += outcome.wall_seconds
+        self.by_policy[outcome.policy] = self.by_policy.get(outcome.policy, 0) + 1
+        if self.callback is not None:
+            self.callback(self.done, self.total, outcome)
+
+    def summary(self) -> Dict[str, object]:
+        """The aggregate picture as a plain dict (JSON-able)."""
+        return {
+            "done": self.done,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "solved": self.solved,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "solver_wall_seconds": round(self.wall_seconds, 6),
+            "by_policy": dict(self.by_policy),
+        }

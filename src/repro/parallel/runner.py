@@ -1,0 +1,231 @@
+"""Instance-level parallel execution with per-task result caching.
+
+The solver is single-threaded by nature, but the workloads around it —
+dual-policy labelling (paper Sec. 5.1), benchmark suites, ablations —
+are embarrassingly parallel across *instances*.  :class:`ParallelRunner`
+fans a list of :class:`SolveTask` out over a ``multiprocessing`` pool,
+short-circuits any task whose result is already in the on-disk
+:class:`~repro.parallel.cache.ResultCache`, and returns
+:class:`SolveOutcome` records in task order, so callers see the exact
+sequential semantics at a fraction of the wall-clock.
+
+``workers=1`` runs everything inline (no pool, no pickling) and is
+bit-for-bit identical to calling the solver directly — the parallel path
+is a pure scheduling change, never a semantic one, because the solver is
+deterministic per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.cnf.dimacs import to_dimacs
+from repro.cnf.formula import CNF
+from repro.parallel.cache import ResultCache, solve_cache_key
+from repro.parallel.progress import ProgressAggregator
+from repro.policies.registry import get_policy
+from repro.solver.solver import Solver, SolverConfig
+from repro.solver.types import Model, Status
+
+
+@dataclass(eq=False)
+class SolveTask:
+    """One unit of work: solve ``cnf`` under ``policy`` within budgets."""
+
+    cnf: CNF
+    policy: str = "default"
+    config: Optional[SolverConfig] = None
+    max_conflicts: Optional[int] = None
+    max_propagations: Optional[int] = None
+    max_decisions: Optional[int] = None
+    #: Free-form caller label, carried through to the outcome.
+    tag: str = ""
+
+    def budgets(self) -> Dict[str, Optional[int]]:
+        return {
+            "max_conflicts": self.max_conflicts,
+            "max_propagations": self.max_propagations,
+            "max_decisions": self.max_decisions,
+        }
+
+    def cache_key(self) -> str:
+        return solve_cache_key(
+            to_dimacs(self.cnf), self.policy, self.config, self.budgets()
+        )
+
+
+@dataclass
+class SolveOutcome:
+    """Result of one task: status, effort counters, and provenance."""
+
+    tag: str
+    policy: str
+    status: Status
+    propagations: int
+    conflicts: int
+    decisions: int
+    restarts: int
+    reductions: int
+    wall_seconds: float
+    model: Optional[Model] = None
+    #: True when served from the on-disk cache instead of a solver run.
+    cached: bool = False
+
+    @property
+    def solved(self) -> bool:
+        return self.status is not Status.UNKNOWN
+
+    def as_payload(self) -> Dict[str, Any]:
+        """JSON-able form for the result cache."""
+        return {
+            "tag": self.tag,
+            "policy": self.policy,
+            "status": self.status.value,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "restarts": self.restarts,
+            "reductions": self.reductions,
+            "wall_seconds": self.wall_seconds,
+            "model": self.model,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SolveOutcome":
+        model = payload.get("model")
+        return cls(
+            tag=str(payload.get("tag", "")),
+            policy=str(payload["policy"]),
+            status=Status(payload["status"]),
+            propagations=int(payload["propagations"]),
+            conflicts=int(payload["conflicts"]),
+            decisions=int(payload["decisions"]),
+            restarts=int(payload["restarts"]),
+            reductions=int(payload["reductions"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            model=None if model is None else list(model),
+            cached=True,
+        )
+
+
+def execute_task(task: SolveTask) -> SolveOutcome:
+    """Run one task to completion in the current process."""
+    solver = Solver(task.cnf, policy=get_policy(task.policy), config=task.config)
+    start = time.perf_counter()
+    result = solver.solve(
+        max_conflicts=task.max_conflicts,
+        max_propagations=task.max_propagations,
+        max_decisions=task.max_decisions,
+    )
+    wall = time.perf_counter() - start
+    stats = result.stats
+    return SolveOutcome(
+        tag=task.tag,
+        policy=task.policy,
+        status=result.status,
+        propagations=stats.propagations,
+        conflicts=stats.conflicts,
+        decisions=stats.decisions,
+        restarts=stats.restarts,
+        reductions=stats.reductions,
+        wall_seconds=wall,
+        model=result.model,
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate of one :meth:`ParallelRunner.run` call."""
+
+    tasks: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    solved: int = 0
+    wall_seconds: float = 0.0
+    summary: Dict[str, object] = field(default_factory=dict)
+
+
+class ParallelRunner:
+    """Fan solve tasks out over processes, with transparent result caching."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[ProgressAggregator] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.last_stats = RunnerStats()
+
+    def run(self, tasks: Sequence[SolveTask]) -> List[SolveOutcome]:
+        """Execute every task; results come back in task order.
+
+        Cached tasks are answered from disk without touching the pool;
+        fresh results are written back so the next run with the same
+        tasks performs zero solver work.
+        """
+        progress = self.progress or ProgressAggregator()
+        progress.total = len(tasks)
+        started = time.perf_counter()
+
+        results: List[Optional[SolveOutcome]] = [None] * len(tasks)
+        pending: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, task in enumerate(tasks):
+            if self.cache is not None:
+                key = task.cache_key()
+                keys[index] = key
+                payload = self.cache.get(key)
+                if payload is not None:
+                    outcome = SolveOutcome.from_payload(payload)
+                    results[index] = outcome
+                    progress.record(outcome)
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                fresh = (execute_task(tasks[index]) for index in pending)
+                for index, outcome in zip(pending, fresh):
+                    self._finish(index, outcome, results, keys, progress)
+            else:
+                workers = min(self.workers, len(pending))
+                with multiprocessing.Pool(processes=workers) as pool:
+                    fresh = pool.imap(
+                        execute_task,
+                        [tasks[index] for index in pending],
+                        chunksize=1,
+                    )
+                    for index, outcome in zip(pending, fresh):
+                        self._finish(index, outcome, results, keys, progress)
+
+        self.last_stats = RunnerStats(
+            tasks=len(tasks),
+            cache_hits=progress.cache_hits,
+            executed=progress.executed,
+            solved=progress.solved,
+            wall_seconds=time.perf_counter() - started,
+            summary=progress.summary(),
+        )
+        return [outcome for outcome in results if outcome is not None]
+
+    def _finish(
+        self,
+        index: int,
+        outcome: SolveOutcome,
+        results: List[Optional[SolveOutcome]],
+        keys: Dict[int, str],
+        progress: ProgressAggregator,
+    ) -> None:
+        results[index] = outcome
+        if self.cache is not None:
+            self.cache.put(keys[index], outcome.as_payload())
+        progress.record(outcome)

@@ -3,6 +3,9 @@
 from repro.selection.labeling import (
     PolicyComparison,
     compare_policies,
+    comparison_from_outcomes,
+    label_instances,
+    labeling_tasks,
     run_policy,
     REDUCTION_THRESHOLD,
 )
@@ -30,6 +33,9 @@ from repro.selection.validation import (
 __all__ = [
     "PolicyComparison",
     "compare_policies",
+    "comparison_from_outcomes",
+    "label_instances",
+    "labeling_tasks",
     "run_policy",
     "REDUCTION_THRESHOLD",
     "LabeledInstance",

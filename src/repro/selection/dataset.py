@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cnf.formula import CNF
 from repro.cnf.generators import (
@@ -24,7 +25,8 @@ from repro.cnf.generators import (
     random_ksat,
 )
 from repro.graph.bipartite import BipartiteGraph
-from repro.selection.labeling import PolicyComparison, compare_policies
+from repro.parallel.runner import ParallelRunner
+from repro.selection.labeling import PolicyComparison, label_instances
 
 TRAIN_YEARS: Tuple[int, ...] = (2016, 2017, 2018, 2019, 2020, 2021)
 TEST_YEAR: int = 2022
@@ -122,22 +124,43 @@ def build_dataset(
     max_nodes: int = DEFAULT_MAX_NODES,
     max_conflicts: int = 20_000,
     scale: float = 1.0,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> PolicyDataset:
     """Generate, filter, and label the full dataset.
 
-    This is the expensive step (two solver runs per instance); callers
-    size it with ``instances_per_year`` and ``max_conflicts``.
+    This is the expensive step (two solver runs per instance).  Callers
+    size it with ``instances_per_year`` and ``max_conflicts``, and scale
+    it with ``workers`` (process fan-out) and ``cache_dir`` (on-disk
+    result cache: rebuilding an already-labelled dataset does zero
+    solver work).  The labels are identical for every worker count —
+    parallelism only reorders execution, never results.
     """
-    dataset = PolicyDataset()
+    if runner is None:
+        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+
+    # Generate and filter every instance first, then label as one batch
+    # so the runner sees the full fan-out width.
+    entries: List[Tuple[int, str, CNF]] = []
     for year in list(train_years) + [test_year]:
-        split = dataset.test if year == test_year else dataset.train
         for family, cnf in _instance_pool(year, instances_per_year, scale):
             if BipartiteGraph(cnf).num_nodes > max_nodes:
                 continue  # the paper's 400k-node GPU-memory filter
-            comparison = compare_policies(cnf, max_conflicts=max_conflicts)
-            split.append(
-                LabeledInstance(cnf=cnf, year=year, family=family, comparison=comparison)
-            )
+            entries.append((year, family, cnf))
+
+    comparisons = label_instances(
+        [cnf for _, _, cnf in entries],
+        max_conflicts=max_conflicts,
+        runner=runner,
+    )
+
+    dataset = PolicyDataset()
+    for (year, family, cnf), comparison in zip(entries, comparisons):
+        split = dataset.test if year == test_year else dataset.train
+        split.append(
+            LabeledInstance(cnf=cnf, year=year, family=family, comparison=comparison)
+        )
     return dataset
 
 

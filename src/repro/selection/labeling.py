@@ -12,9 +12,11 @@ measure").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from repro.cnf.formula import CNF
+from repro.parallel.runner import ParallelRunner, SolveOutcome, SolveTask
 from repro.policies import DefaultPolicy, FrequencyPolicy
 from repro.solver.solver import Solver, SolverConfig, SolveResult
 from repro.solver.types import Status
@@ -90,17 +92,107 @@ def compare_policies(
         cnf, "frequency", max_conflicts=max_conflicts,
         max_propagations=max_propagations, config=config,
     )
-    d = default_result.stats.propagations
-    f = frequency_result.stats.propagations
+    return _derive_comparison(
+        default_result.status,
+        frequency_result.status,
+        default_result.stats.propagations,
+        frequency_result.stats.propagations,
+        threshold,
+    )
+
+
+def _derive_comparison(
+    default_status: Status,
+    frequency_status: Status,
+    default_propagations: int,
+    frequency_propagations: int,
+    threshold: float,
+) -> PolicyComparison:
+    """The Sec. 5.1 labelling rule, shared by serial and parallel paths."""
+    d = default_propagations
+    f = frequency_propagations
     decided = (
-        default_result.status is not Status.UNKNOWN
-        or frequency_result.status is not Status.UNKNOWN
+        default_status is not Status.UNKNOWN
+        or frequency_status is not Status.UNKNOWN
     )
     label = 1 if (decided and d > 0 and (d - f) / d >= threshold) else 0
     return PolicyComparison(
-        default_result_status=default_result.status,
-        frequency_result_status=frequency_result.status,
+        default_result_status=default_status,
+        frequency_result_status=frequency_status,
         default_propagations=d,
         frequency_propagations=f,
         label=label,
     )
+
+
+def comparison_from_outcomes(
+    default_outcome: SolveOutcome,
+    frequency_outcome: SolveOutcome,
+    threshold: float = REDUCTION_THRESHOLD,
+) -> PolicyComparison:
+    """Build the label from two :class:`SolveOutcome` records."""
+    return _derive_comparison(
+        default_outcome.status,
+        frequency_outcome.status,
+        default_outcome.propagations,
+        frequency_outcome.propagations,
+        threshold,
+    )
+
+
+def labeling_tasks(
+    cnfs: Sequence[CNF],
+    max_conflicts: Optional[int] = 20_000,
+    max_propagations: Optional[int] = None,
+    config: Optional[SolverConfig] = None,
+) -> List[SolveTask]:
+    """Both-policy task list for a batch of instances (default, frequency,
+    default, frequency, ... — two consecutive tasks per instance)."""
+    config = config or default_labeling_config()
+    tasks: List[SolveTask] = []
+    for index, cnf in enumerate(cnfs):
+        for policy in ("default", "frequency"):
+            tasks.append(
+                SolveTask(
+                    cnf=cnf,
+                    policy=policy,
+                    config=config,
+                    max_conflicts=max_conflicts,
+                    max_propagations=max_propagations,
+                    tag=f"label-{index:05d}",
+                )
+            )
+    return tasks
+
+
+def label_instances(
+    cnfs: Sequence[CNF],
+    max_conflicts: Optional[int] = 20_000,
+    max_propagations: Optional[int] = None,
+    threshold: float = REDUCTION_THRESHOLD,
+    config: Optional[SolverConfig] = None,
+    runner: Optional[ParallelRunner] = None,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[PolicyComparison]:
+    """Dual-policy labelling of a batch, fanned out across cores.
+
+    The scaling path of Sec. 5.1: every instance is solved once per
+    deletion policy (2N tasks), the runner spreads the tasks over
+    ``workers`` processes, and any task already present in the
+    ``cache_dir`` result cache is not re-solved.  With ``workers=1`` and
+    no cache this is exactly ``[compare_policies(c) for c in cnfs]``.
+    """
+    if runner is None:
+        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+    tasks = labeling_tasks(
+        cnfs, max_conflicts=max_conflicts,
+        max_propagations=max_propagations, config=config,
+    )
+    outcomes = runner.run(tasks)
+    comparisons: List[PolicyComparison] = []
+    for i in range(0, len(outcomes), 2):
+        comparisons.append(
+            comparison_from_outcomes(outcomes[i], outcomes[i + 1], threshold)
+        )
+    return comparisons

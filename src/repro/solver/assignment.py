@@ -21,6 +21,11 @@ class Trail:
         self.num_vars = num_vars
         n = num_vars + 1
         self.values: List[int] = [UNASSIGNED] * n  # per variable
+        # Per-literal truth values, kept complementary to ``values``:
+        # ``lit_values[lit]`` is TRUE/FALSE/UNASSIGNED for that literal
+        # directly, sparing the propagator the ``>> 1`` / ``& 1`` / xor
+        # dance on every watcher visit (the BCP hot path).
+        self.lit_values: List[int] = [UNASSIGNED] * (2 * n)
         self.levels: List[int] = [0] * n
         self.reasons: List[Optional[SolverClause]] = [None] * n
         self.trail: List[int] = []  # internal literals, assignment order
@@ -38,11 +43,7 @@ class Trail:
 
     def value_lit(self, lit: int) -> int:
         """TRUE / FALSE / UNASSIGNED for an internal literal."""
-        v = self.values[lit >> 1]
-        if v == UNASSIGNED:
-            return UNASSIGNED
-        # Positive literal: value of variable.  Negative: flipped.
-        return v ^ (lit & 1)
+        return self.lit_values[lit]
 
     def is_assigned(self, var: int) -> bool:
         return self.values[var] != UNASSIGNED
@@ -63,6 +64,8 @@ class Trail:
         var = lit >> 1
         assert self.values[var] == UNASSIGNED, f"variable {var} already assigned"
         self.values[var] = lit_sign_value(lit)
+        self.lit_values[lit] = TRUE
+        self.lit_values[lit ^ 1] = FALSE
         self.levels[var] = self.decision_level
         self.reasons[var] = reason
         self.trail.append(lit)
@@ -73,10 +76,15 @@ class Trail:
             return []
         boundary = self.trail_lim[level]
         undone = self.trail[boundary:]
+        lit_values = self.lit_values
+        values = self.values
+        reasons = self.reasons
         for lit in undone:
             var = lit >> 1
-            self.values[var] = UNASSIGNED
-            self.reasons[var] = None
+            values[var] = UNASSIGNED
+            lit_values[lit] = UNASSIGNED
+            lit_values[lit ^ 1] = UNASSIGNED
+            reasons[var] = None
         del self.trail[boundary:]
         del self.trail_lim[level:]
         self.qhead = min(self.qhead, len(self.trail))

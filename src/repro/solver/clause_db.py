@@ -83,11 +83,18 @@ class ClauseDatabase:
     # -- deletion ----------------------------------------------------------
 
     def reducible_clauses(self) -> List[SolverClause]:
-        """Learned clauses that are candidates for deletion."""
+        """Learned clauses that are candidates for deletion.
+
+        Binary clauses are excluded: they live in the specialized binary
+        watch table, are cheap to keep, and (as in Kissat) are never
+        deleted — which also means the binary watcher index only ever
+        shrinks through explicit garbage sweeps, never through reduce.
+        """
+        keep_glue = self.keep_glue
         return [
             c
             for c in self.learned
-            if not c.garbage and c.glue > self.keep_glue and len(c.lits) > 2
+            if not c.garbage and c.glue > keep_glue and len(c.lits) > 2
         ]
 
     def mark_garbage(self, clause: SolverClause) -> None:
@@ -103,6 +110,15 @@ class ClauseDatabase:
 
     def live_learned(self) -> Iterator[SolverClause]:
         return (c for c in self.learned if not c.garbage)
+
+    def live_clauses(self) -> Iterator[SolverClause]:
+        """All non-garbage clauses, original first (audit / rebuild order)."""
+        for clause in self.original:
+            if not clause.garbage:
+                yield clause
+        for clause in self.learned:
+            if not clause.garbage:
+                yield clause
 
     @property
     def num_learned(self) -> int:

@@ -10,6 +10,25 @@ every propagated assignment is simultaneously the result of one
 propagation step and the trigger of subsequent ones, so counting
 propagated assignments realizes the metric (and directly reproduces the
 skewed distribution of Figure 3).
+
+The inner loop is the solver's hottest code and is written accordingly:
+
+* **binary fast path** — implications from binary clauses are decided
+  from the watcher record alone (``(other, clause)``), never touching
+  ``clause.lits``;
+* **blocking literals** — long-clause watchers carry a cached literal of
+  the clause; when it is already true the clause is skipped without a
+  single attribute access on the clause object;
+* frequency counting is a bare array bump with a running maximum, so
+  :meth:`max_frequency` is O(1) at every reduction round;
+* trail bookkeeping (``values``/``levels``/``reasons``/``trail``) is
+  inlined rather than calling :meth:`Trail.assign` per implication.
+
+Contract: the watch lists contain **no garbage clauses** when
+``propagate`` runs.  Deleting code must call
+:meth:`~repro.solver.watchers.WatchLists.detach_garbage` before the next
+propagation (``ReduceScheduler.reduce`` does), which lets the inner loop
+skip a per-watcher ``clause.garbage`` attribute load.
 """
 
 from __future__ import annotations
@@ -19,7 +38,6 @@ from typing import List, Optional
 from repro.solver.assignment import Trail
 from repro.solver.clause_db import SolverClause
 from repro.solver.statistics import SolverStatistics
-from repro.solver.types import TRUE, UNASSIGNED
 from repro.solver.watchers import WatchLists
 
 
@@ -37,71 +55,246 @@ class Propagator:
         self.stats = stats
         # Per-variable propagation counters since the last reduce (Eq. 2 input).
         self.frequency: List[int] = [0] * (trail.num_vars + 1)
-        # Lifetime counters, never reset: used for Figure 3.
-        self.lifetime_frequency: List[int] = [0] * (trail.num_vars + 1)
+        # Lifetime counters folded in at every reset; see lifetime_frequency.
+        self._lifetime_base: List[int] = [0] * (trail.num_vars + 1)
+        # Running max of ``frequency``, kept in sync by every bump.
+        self._max_frequency: int = 0
+
+    @property
+    def lifetime_frequency(self) -> List[int]:
+        """Lifetime propagation counters, never reset: used for Figure 3.
+
+        Derived as the counters folded at past resets plus the live
+        window, so the hot loop maintains one array instead of two.
+        """
+        return [
+            base + live
+            for base, live in zip(self._lifetime_base, self.frequency)
+        ]
 
     def reset_frequencies(self) -> None:
         """Called at every clause-deletion round ("since the last deletion")."""
-        for i in range(len(self.frequency)):
-            self.frequency[i] = 0
+        base = self._lifetime_base
+        for var, count in enumerate(self.frequency):
+            if count:
+                base[var] += count
+        self.frequency[:] = [0] * len(self.frequency)
+        self._max_frequency = 0
 
     def max_frequency(self) -> int:
-        return max(self.frequency) if self.frequency else 0
+        """Largest per-variable counter, tracked incrementally (O(1))."""
+        return self._max_frequency
+
+    def bump_frequency(self, var: int, count: int = 1) -> None:
+        """Externally credit ``var`` with propagations (tests, replay tools).
+
+        Keeps the running maximum consistent, which a direct write to
+        :attr:`frequency` would not.
+        """
+        value = self.frequency[var] + count
+        self.frequency[var] = value
+        if value > self._max_frequency:
+            self._max_frequency = value
 
     def _record_propagation(self, var: int) -> None:
-        self.frequency[var] += 1
-        self.lifetime_frequency[var] += 1
+        value = self.frequency[var] + 1
+        self.frequency[var] = value
+        if value > self._max_frequency:
+            self._max_frequency = value
         self.stats.propagations += 1
 
     def propagate(self) -> Optional[SolverClause]:
-        """Propagate all queued assignments; returns a conflict clause or None."""
+        """Propagate all queued assignments; returns a conflict clause or None.
+
+        Hot path: every name used inside the loops is a local, trail
+        updates are inlined, and statistics are flushed once on exit.
+        """
         trail = self.trail
         values = trail.values
+        lit_values = trail.lit_values
+        levels = trail.levels
+        reasons = trail.reasons
+        trail_list = trail.trail
         watches = self.watches.watches
+        binary = self.watches.binary
+        frequency = self.frequency
+        level = trail.decision_level
+        maxf = self._max_frequency
+        propagated = 0
+        qhead = trail.qhead
+        ntrail = len(trail_list)
 
-        while trail.qhead < len(trail.trail):
-            lit = trail.trail[trail.qhead]
-            trail.qhead += 1
+        while qhead < ntrail:
+            lit = trail_list[qhead]
+            qhead += 1
             false_lit = lit ^ 1
+
+            # -- binary fast path: the record alone decides the implication.
+            for other, clause in binary[false_lit]:
+                v = lit_values[other]
+                if v > 0:  # TRUE: clause satisfied
+                    continue
+                if v == 0:  # FALSE on both literals: conflict
+                    trail.qhead = ntrail
+                    self._flush(propagated, maxf)
+                    return clause
+                # Implication: assign ``other`` with this clause as reason.
+                lits = clause.lits
+                if lits[0] != other:
+                    # Conflict analysis expects the implied literal first.
+                    lits[0], lits[1] = lits[1], lits[0]
+                var = other >> 1
+                values[var] = (other & 1) ^ 1
+                lit_values[other] = 1
+                lit_values[other ^ 1] = 0
+                levels[var] = level
+                reasons[var] = clause
+                trail_list.append(other)
+                ntrail += 1
+                value = frequency[var] + 1
+                frequency[var] = value
+                if value > maxf:
+                    maxf = value
+                propagated += 1
+
+            # -- long clauses: blocking literal, then watch relocation.
+            #
+            # Two-phase scan.  Records are mutable and updated in place,
+            # so until a relocation removes one there is no hole and the
+            # kept records need no compaction writes at all.  Phase 1
+            # scans write-free; the first relocation leaves a hole at
+            # ``i`` and falls through to the compacting phase 2 (the
+            # classic ``watchers[j] = record`` loop).
             watchers = watches[false_lit]
             i = 0
-            j = 0
             n = len(watchers)
             conflict: Optional[SolverClause] = None
+            hole = -1
             while i < n:
-                clause = watchers[i]
-                i += 1
-                if clause.garbage:
-                    continue  # dropped lazily
+                record = watchers[i]
+                if lit_values[record[0]] > 0:
+                    # Blocker true: clause satisfied, never dereferenced.
+                    i += 1
+                    continue
+                clause = record[1]
                 lits = clause.lits
                 # Normalize: watched false literal at position 1.
                 if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
                 first = lits[0]
-                v0 = values[first >> 1]
-                if v0 != UNASSIGNED and (v0 ^ (first & 1)) == TRUE:
-                    # Clause already satisfied by the other watch.
-                    watchers[j] = clause
+                v0 = lit_values[first]
+                if v0 > 0:
+                    # Satisfied by the other watch: cache it as the blocker.
+                    record[0] = first
+                    i += 1
+                    continue
+                # Look for a new literal to watch.  The third literal is
+                # probed directly first: for ternary clauses (the common
+                # case) this settles relocation without a range object.
+                candidate = lits[2]
+                if lit_values[candidate] != 0:  # true or unassigned
+                    lits[1] = candidate
+                    lits[2] = false_lit
+                    record[0] = first
+                    watches[candidate].append(record)
+                    hole = i
+                    i += 1
+                    break
+                moved = False
+                for k in range(3, len(lits)):
+                    candidate = lits[k]
+                    if lit_values[candidate] != 0:
+                        lits[1] = candidate
+                        lits[k] = false_lit
+                        record[0] = first
+                        watches[candidate].append(record)
+                        moved = True
+                        break
+                if moved:
+                    hole = i
+                    i += 1
+                    break
+                # No replacement: clause is unit or conflicting on lits[0].
+                record[0] = first
+                i += 1
+                if v0 < 0:  # UNASSIGNED: implication
+                    var = first >> 1
+                    values[var] = (first & 1) ^ 1
+                    lit_values[first] = 1
+                    lit_values[first ^ 1] = 0
+                    levels[var] = level
+                    reasons[var] = clause
+                    trail_list.append(first)
+                    ntrail += 1
+                    value = frequency[var] + 1
+                    frequency[var] = value
+                    if value > maxf:
+                        maxf = value
+                    propagated += 1
+                else:
+                    # lits[0] is false: conflict; every record was kept.
+                    trail.qhead = ntrail
+                    self._flush(propagated, maxf)
+                    return clause
+            if hole < 0:
+                continue  # phase 1 kept everything: list untouched
+            j = hole
+            while i < n:
+                record = watchers[i]
+                i += 1
+                if lit_values[record[0]] > 0:
+                    watchers[j] = record
                     j += 1
                     continue
-                # Look for a new literal to watch.
+                clause = record[1]
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                v0 = lit_values[first]
+                if v0 > 0:
+                    record[0] = first
+                    watchers[j] = record
+                    j += 1
+                    continue
+                candidate = lits[2]
+                if lit_values[candidate] != 0:
+                    lits[1] = candidate
+                    lits[2] = false_lit
+                    record[0] = first
+                    watches[candidate].append(record)
+                    continue
                 moved = False
-                for k in range(2, len(lits)):
+                for k in range(3, len(lits)):
                     candidate = lits[k]
-                    vk = values[candidate >> 1]
-                    if vk == UNASSIGNED or (vk ^ (candidate & 1)) == TRUE:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        watches[candidate].append(clause)
+                    if lit_values[candidate] != 0:
+                        lits[1] = candidate
+                        lits[k] = false_lit
+                        record[0] = first
+                        watches[candidate].append(record)
                         moved = True
                         break
                 if moved:
                     continue
-                # No replacement: clause is unit or conflicting on lits[0].
-                watchers[j] = clause
+                record[0] = first
+                watchers[j] = record
                 j += 1
-                if v0 == UNASSIGNED:
-                    trail.assign(first, clause)
-                    self._record_propagation(first >> 1)
+                if v0 < 0:  # UNASSIGNED: implication
+                    var = first >> 1
+                    values[var] = (first & 1) ^ 1
+                    lit_values[first] = 1
+                    lit_values[first ^ 1] = 0
+                    levels[var] = level
+                    reasons[var] = clause
+                    trail_list.append(first)
+                    ntrail += 1
+                    value = frequency[var] + 1
+                    frequency[var] = value
+                    if value > maxf:
+                        maxf = value
+                    propagated += 1
                 else:
                     # lits[0] is false: conflict.  Keep remaining watchers.
                     while i < n:
@@ -111,6 +304,15 @@ class Propagator:
                     conflict = clause
             del watchers[j:]
             if conflict is not None:
-                trail.qhead = len(trail.trail)
+                trail.qhead = ntrail
+                self._flush(propagated, maxf)
                 return conflict
+
+        trail.qhead = qhead
+        self._flush(propagated, maxf)
         return None
+
+    def _flush(self, propagated: int, maxf: int) -> None:
+        """Write loop-local counters back to shared state."""
+        self._max_frequency = maxf
+        self.stats.propagations += propagated

@@ -71,6 +71,7 @@ class ReduceScheduler:
         self.stats.reductions += 1
 
         frequency = self.propagator.frequency
+        # O(1): the propagator tracks the running max with every bump.
         max_frequency = self.propagator.max_frequency()
         self.policy.begin_round(frequency, max_frequency)
 
@@ -93,6 +94,7 @@ class ReduceScheduler:
                 self.clause_db.mark_garbage(clause)
                 deleted += 1
             if deleted:
+                # Single-pass sweep over the binary and long watch tables.
                 self.watches.detach_garbage()
                 self.clause_db.sweep()
 

@@ -1,43 +1,98 @@
-"""Two-watched-literal index.
+"""Two-watched-literal index with blocking literals and binary specialization.
 
-``watches[lit]`` lists the clauses currently watching internal literal
-``lit``.  The propagator visits ``watches[neg(l)]`` when ``l`` becomes
-true, relocating watches so that a clause is only ever touched when it
-might propagate or conflict — the key to sub-quadratic BCP.
+The index keeps two structures per internal literal, Kissat-style:
+
+* ``binary[lit]`` — watchers for **binary clauses** containing ``lit``.
+  Each record is ``(other, clause)`` where ``other`` is the clause's
+  remaining literal.  Binary propagation reads only the record: the
+  implication is decided without dereferencing the clause at all (the
+  clause object is kept solely to serve as the reason / conflict).
+* ``watches[lit]`` — watchers for **long clauses** (length >= 3)
+  currently watching ``lit``.  Each record is ``(blocker, clause)``
+  where ``blocker`` is some other literal of the clause; when the
+  blocker is already true the clause is satisfied and the propagator
+  skips it without touching the clause object (MiniSat's "blocking
+  literal" trick, the single biggest constant-factor win in BCP).
+
+The propagator visits both tables for ``neg(l)`` when ``l`` becomes
+true, relocating long-clause watches so a clause is only ever touched
+when it might propagate or conflict — the key to sub-quadratic BCP.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.solver.clause_db import SolverClause
+
+#: A watcher record: ``[blocking-or-other literal, clause]``.  Long-clause
+#: records are mutable two-element lists so the propagator can update the
+#: cached blocker and relocate a record without allocating; binary records
+#: are immutable tuples (they never change once attached).
+Watcher = Sequence
 
 
 class WatchLists:
     """Per-literal watcher lists, indexed by internal literal."""
 
     def __init__(self, num_vars: int):
-        self.watches: List[List[SolverClause]] = [
-            [] for _ in range(2 * (num_vars + 1))
-        ]
+        n = 2 * (num_vars + 1)
+        #: Long-clause watchers: ``watches[lit]`` -> list of (blocker, clause).
+        self.watches: List[List[Watcher]] = [[] for _ in range(n)]
+        #: Binary-clause watchers: ``binary[lit]`` -> list of (other, clause).
+        self.binary: List[List[Watcher]] = [[] for _ in range(n)]
 
-    def watch(self, lit: int, clause: SolverClause) -> None:
-        self.watches[lit].append(clause)
+    def watch(self, lit: int, clause: SolverClause, blocker: int = -1) -> None:
+        """Register one watcher for ``lit`` on ``clause``.
+
+        ``blocker`` defaults to the clause's other watched literal.
+        Binary clauses are routed to the dedicated binary table.
+        """
+        lits = clause.lits
+        if blocker < 0:
+            blocker = lits[1] if lits[0] == lit else lits[0]
+        if len(lits) == 2:
+            self.binary[lit].append((blocker, clause))
+        else:
+            self.watches[lit].append([blocker, clause])
 
     def watchers_of(self, lit: int) -> List[SolverClause]:
-        return self.watches[lit]
+        """All clauses (binary first, then long) watching ``lit``."""
+        return [rec[1] for rec in self.binary[lit]] + [
+            rec[1] for rec in self.watches[lit]
+        ]
 
     def attach(self, clause: SolverClause) -> None:
         """Watch the first two literals of a clause (length >= 2)."""
-        assert len(clause.lits) >= 2, "unit/empty clauses are not watched"
-        self.watches[clause.lits[0]].append(clause)
-        self.watches[clause.lits[1]].append(clause)
+        lits = clause.lits
+        assert len(lits) >= 2, "unit/empty clauses are not watched"
+        a, b = lits[0], lits[1]
+        if len(lits) == 2:
+            self.binary[a].append((b, clause))
+            self.binary[b].append((a, clause))
+        else:
+            # The other watched literal doubles as the initial blocker.
+            self.watches[a].append([b, clause])
+            self.watches[b].append([a, clause])
 
     def detach_garbage(self) -> None:
-        """Drop garbage clauses from every watch list (bulk sweep)."""
-        for i, lst in enumerate(self.watches):
-            if any(c.garbage for c in lst):
-                self.watches[i] = [c for c in lst if not c.garbage]
+        """Drop garbage clauses from every watch list (single-pass sweep).
+
+        Each list is compacted in place: live records slide down over
+        dead ones and the tail is truncated once — no ``any()`` pre-scan,
+        no throwaway filtered copy.
+        """
+        for table in (self.binary, self.watches):
+            for lst in table:
+                kept = 0
+                for rec in lst:
+                    if not rec[1].garbage:
+                        lst[kept] = rec
+                        kept += 1
+                if kept != len(lst):
+                    del lst[kept:]
 
     def total_watches(self) -> int:
-        return sum(len(lst) for lst in self.watches)
+        return sum(len(lst) for lst in self.watches) + sum(
+            len(lst) for lst in self.binary
+        )

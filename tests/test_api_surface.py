@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.graph",
     "repro.models",
     "repro.models.baselines",
+    "repro.parallel",
     "repro.selection",
     "repro.bench",
 ]
@@ -47,6 +48,9 @@ MODULES = PACKAGES + [
     "repro.solver.reference",
     "repro.policies.score",
     "repro.policies.base",
+    "repro.parallel.cache",
+    "repro.parallel.progress",
+    "repro.parallel.runner",
     "repro.simplify.passes",
     "repro.simplify.elimination",
     "repro.simplify.equivalence",

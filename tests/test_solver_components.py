@@ -256,8 +256,9 @@ class TestReduceScheduler:
         hot = db.add_learned([encode(4), encode(5), encode(6)], glue=4)
         for c in (cold, hot):
             watches.attach(c)
-        prop.frequency[4] = prop.frequency[5] = prop.frequency[6] = 100
-        prop.frequency[1] = 1
+        for hot_var in (4, 5, 6):
+            prop.bump_frequency(hot_var, 100)
+        prop.bump_frequency(1, 1)
         reducer = ReduceScheduler(
             db, trail, watches, prop, stats, policy,
             target_fraction=0.5, protect_used=False,

@@ -28,21 +28,33 @@ def audit(solver: Solver) -> None:
             assert clause.glue >= 1
 
     # -- watch invariant ---------------------------------------------------
-    for clause in solver.clause_db.original + list(solver.clause_db.live_learned()):
-        if clause.garbage:
-            continue
+    in_binary_table = {
+        id(rec[1]) for lst in solver.watches.binary for rec in lst
+    }
+    in_long_table = {
+        id(rec[1]) for lst in solver.watches.watches for rec in lst
+    }
+    for clause in solver.clause_db.live_clauses():
         for watched in clause.lits[:2]:
             assert clause in solver.watches.watchers_of(watched), (
                 "watched literal not registered"
             )
+        # Each clause lives in exactly one table, picked by its length.
+        if len(clause.lits) == 2:
+            assert id(clause) not in in_long_table, "binary in long table"
+        else:
+            assert id(clause) not in in_binary_table, "long clause in binary table"
 
-    # -- watcher lists only reference known clauses -------------------------
+    # -- watcher records are well-formed and reference known clauses --------
     known = set(
         id(c) for c in solver.clause_db.original + solver.clause_db.learned
     )
-    for lst in solver.watches.watches:
-        for clause in lst:
-            assert id(clause) in known or clause.garbage
+    for table in (solver.watches.binary, solver.watches.watches):
+        for lst in table:
+            for blocker, clause in lst:
+                assert id(clause) in known or clause.garbage
+                if not clause.garbage:
+                    assert blocker in clause.lits, "blocker outside clause"
 
     # -- trail sanity -------------------------------------------------------
     seen_vars = set()

@@ -76,10 +76,13 @@ class TestPropagation:
         assert trail.reasons[3] is clause
         assert clause.lits[0] == encode(3)
 
-    def test_garbage_clauses_skipped(self):
+    def test_garbage_clauses_never_propagate_once_detached(self):
+        # Contract: garbage is detached before propagation runs (as
+        # ReduceScheduler.reduce does), so the hot loop never sees it.
         trail, watches, prop, _ = make_engine(2)
         clause = attach(watches, [-1, 2])
         clause.garbage = True
+        watches.detach_garbage()
         trail.assign(encode(1), None)
         assert prop.propagate() is None
         assert trail.value_var(2) == UNASSIGNED

@@ -41,6 +41,60 @@ class TestWatchLists:
         watches.watch(4, clause)
         assert watches.watchers_of(4) == [clause]
 
+    def test_binary_clauses_use_binary_table(self):
+        watches = WatchLists(3)
+        binary = SolverClause([2, 4])
+        long = SolverClause([2, 4, 6])
+        watches.attach(binary)
+        watches.attach(long)
+        assert any(rec[1] is binary for rec in watches.binary[2])
+        assert any(rec[1] is binary for rec in watches.binary[4])
+        assert all(rec[1] is not binary for rec in watches.watches[2])
+        assert any(rec[1] is long for rec in watches.watches[2])
+        assert watches.total_watches() == 4
+
+    def test_garbage_never_survives_sweep(self):
+        # Mixed population in both tables, several garbage clauses — the
+        # single-pass sweep must leave no garbage record in either table,
+        # at any literal index, while preserving every live record.
+        watches = WatchLists(6)
+        live = [
+            SolverClause([2, 4]),
+            SolverClause([3, 5]),
+            SolverClause([2, 5, 7]),
+            SolverClause([4, 6, 8, 10]),
+        ]
+        dead = [
+            SolverClause([2, 6]),
+            SolverClause([4, 5]),
+            SolverClause([2, 4, 9]),
+            SolverClause([3, 7, 11]),
+        ]
+        for clause in live + dead:
+            watches.attach(clause)
+        for clause in dead:
+            clause.garbage = True
+        watches.detach_garbage()
+        for table in (watches.binary, watches.watches):
+            for records in table:
+                for record in records:
+                    assert not record[1].garbage
+        for clause in live:
+            first, second = clause.lits[0], clause.lits[1]
+            assert clause in watches.watchers_of(first)
+            assert clause in watches.watchers_of(second)
+        assert watches.total_watches() == 2 * len(live)
+
+    def test_sweep_of_fully_garbage_lists_empties_them(self):
+        watches = WatchLists(4)
+        clauses = [SolverClause([2, 4]), SolverClause([2, 4, 6])]
+        for clause in clauses:
+            watches.attach(clause)
+            clause.garbage = True
+        watches.detach_garbage()
+        assert watches.total_watches() == 0
+        assert watches.watchers_of(2) == []
+
 
 class TestStatisticsEdges:
     def test_mean_glue_zero_when_no_learning(self):
