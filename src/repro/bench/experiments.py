@@ -407,7 +407,7 @@ def cactus_plot_data(
     selector_seconds: List[float] = []
     for inst in test_instances:
         outcome = selector.solve(inst.cnf, max_propagations=max_propagations)
-        if outcome.result.status is not Status.UNKNOWN:
+        if outcome.result.status.decided:
             selector_seconds.append(
                 scale.to_seconds(outcome.result.stats.propagations)
                 + outcome.inference_seconds

@@ -32,7 +32,9 @@ class InstanceRecord:
 
     @property
     def solved(self) -> bool:
-        return self.status is not Status.UNKNOWN
+        # ``decided`` (SAT/UNSAT), so supervision failures such as
+        # TIMEOUT / ERROR / MEMOUT count as unsolved, like UNKNOWN.
+        return self.status.decided
 
 
 def run_instance(
@@ -71,6 +73,9 @@ def run_suite(
     workers: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     runner: Optional[ParallelRunner] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: Optional[Union[str, Path]] = None,
 ) -> List[InstanceRecord]:
     """Run every ``LabeledInstance`` (or CNF) under one policy.
 
@@ -80,9 +85,17 @@ def run_suite(
     and budgets across benchmark sessions — never re-solve a pair.  The
     records are identical to the sequential path; the solver is
     deterministic per (instance, policy, config, budgets).
+
+    ``task_timeout`` / ``retries`` / ``journal`` enable supervised
+    execution: a wedged instance is killed and recorded as a TIMEOUT
+    record (unsolved, like UNKNOWN) instead of stalling the suite, and
+    re-running with the same journal resumes an interrupted sweep.
     """
     if runner is None:
-        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+        runner = ParallelRunner(
+            workers=workers, cache_dir=cache_dir,
+            task_timeout=task_timeout, retries=retries, journal=journal,
+        )
     families = [getattr(inst, "family", "") for inst in instances]
     tasks = [
         SolveTask(

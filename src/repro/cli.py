@@ -181,6 +181,56 @@ def cmd_label(args) -> int:
     return 0
 
 
+def _add_supervision_args(p) -> None:
+    """Shared fault-tolerant sweep options (dataset / train)."""
+    p.add_argument("--workers", type=int, default=1,
+                   help="solve instances across this many processes")
+    p.add_argument("--cache-dir",
+                   help="on-disk result cache: never re-solve a task")
+    p.add_argument("--task-timeout", type=float,
+                   help="wall-clock seconds per solve attempt; a task "
+                        "past it is killed and labelled TIMEOUT")
+    p.add_argument("--memory-limit-mb", type=float,
+                   help="per-worker address-space cap in MiB; a breach "
+                        "becomes a MEMOUT outcome")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry transient worker errors this many times "
+                        "(capped exponential backoff)")
+    p.add_argument("--resume", metavar="JOURNAL",
+                   help="append-only run journal (JSONL); re-running "
+                        "with the same path skips finished tasks")
+
+
+def _runner_from_args(args):
+    """Build the supervised ParallelRunner a sweep subcommand asked for."""
+    from repro.parallel import ParallelRunner
+
+    return ParallelRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        task_timeout=args.task_timeout,
+        memory_limit_mb=args.memory_limit_mb,
+        retries=args.retries,
+        journal=args.resume,
+    )
+
+
+def _print_sweep_stats(stats) -> None:
+    """One summary line of executed / cached / resumed / failed counts."""
+    line = (
+        f"sweep: {stats.tasks} tasks, {stats.executed} executed, "
+        f"{stats.cache_hits} cache hits, {stats.journal_hits} resumed"
+    )
+    if stats.failed:
+        taxonomy = ", ".join(
+            f"{count} {name}" for name, count in sorted(stats.failures.items())
+        )
+        line += f", {stats.failed} failed ({taxonomy})"
+    if stats.retried:
+        line += f", {stats.retried} recovered by retry"
+    print(line)
+
+
 def _add_dataset(subparsers) -> None:
     p = subparsers.add_parser(
         "dataset", help="build and save a labelled dataset (Sec. 5.1)"
@@ -188,6 +238,7 @@ def _add_dataset(subparsers) -> None:
     p.add_argument("--out", required=True, help="dataset file (.json)")
     p.add_argument("--per-year", type=int, default=6)
     p.add_argument("--label-budget", type=int, default=8000)
+    _add_supervision_args(p)
     p.set_defaults(func=cmd_dataset)
 
 
@@ -195,10 +246,13 @@ def cmd_dataset(args) -> int:
     """Handle ``repro dataset``: build + save a labelled dataset."""
     from repro.selection import build_dataset, save_dataset
 
+    runner = _runner_from_args(args)
     dataset = build_dataset(
-        instances_per_year=args.per_year, max_conflicts=args.label_budget
+        instances_per_year=args.per_year, max_conflicts=args.label_budget,
+        runner=runner,
     )
     save_dataset(dataset, args.out)
+    _print_sweep_stats(runner.last_stats)
     balance = dataset.label_balance()
     print(
         f"wrote {args.out}: {len(dataset.train)} train / {len(dataset.test)} test "
@@ -222,6 +276,7 @@ def _add_train(subparsers) -> None:
                    help="decision-threshold calibration mode")
     p.add_argument("--augment", type=int, default=0,
                    help="symmetry-augmentation copies of the training split")
+    _add_supervision_args(p)
     p.set_defaults(func=cmd_train)
 
 
@@ -234,9 +289,12 @@ def cmd_train(args) -> int:
     if args.dataset:
         dataset = load_dataset(args.dataset)
     else:
+        runner = _runner_from_args(args)
         dataset = build_dataset(
-            instances_per_year=args.per_year, max_conflicts=args.label_budget
+            instances_per_year=args.per_year, max_conflicts=args.label_budget,
+            runner=runner,
         )
+        _print_sweep_stats(runner.last_stats)
     train_split = dataset.train
     if args.augment:
         from repro.selection import augment_dataset

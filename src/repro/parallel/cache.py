@@ -65,23 +65,69 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Corrupt or stale-format entries deleted on read.
+        self.corrupt_evictions = 0
+        #: Orphaned ``*.tmp.<pid>`` files removed at startup.
+        self.tmp_swept = self.sweep_stale_tmp()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def sweep_stale_tmp(self) -> int:
+        """Remove temp files orphaned by killed writers; returns count.
+
+        Writers stage entries as ``<key>.tmp.<pid>`` before the atomic
+        rename; a worker killed mid-write (timeout, OOM, crash) leaves
+        the temp file behind forever.  Entries are tiny, so any temp
+        file at startup is garbage from a previous, dead run.
+        """
+        removed = 0
+        for tmp in self.root.glob("*/*.tmp.*"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass  # a concurrent sweeper got there first
+        return removed
+
+    def _is_entry(self, path: Path) -> bool:
+        """True for real entry files (never in-flight temp files)."""
+        return path.suffix == ".json" and ".tmp." not in path.name
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Stored payload for ``key``, or None.  Corrupt entries are misses."""
+        """Stored payload for ``key``, or None.  Corrupt entries are
+        misses — and are evicted so they cannot shadow a future write
+        or inflate ``len(cache)`` forever."""
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self.evict(key)
+            self.corrupt_evictions += 1
             self.misses += 1
             return None
         if payload.get("format") != CACHE_FORMAT_VERSION:
+            self.evict(key)
+            self.corrupt_evictions += 1
             self.misses += 1
             return None
         self.hits += 1
         return payload
+
+    def evict(self, key: str) -> bool:
+        """Delete one entry; True when a file was actually removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Atomically persist ``payload`` under ``key``."""
@@ -95,12 +141,19 @@ class ResultCache:
         self.writes += 1
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for p in self.root.glob("*/*.json") if self._is_entry(p))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        In-flight temp files are cleaned up too but not counted — they
+        were never entries.
+        """
         removed = 0
         for entry in self.root.glob("*/*.json"):
+            if not self._is_entry(entry):
+                continue
             entry.unlink()
             removed += 1
+        self.sweep_stale_tmp()
         return removed

@@ -1,0 +1,106 @@
+"""Crash-safe run journal: append-only JSONL checkpointing for sweeps.
+
+A labelling or benchmark sweep is hours of solver work; an interruption
+(SIGKILL, power loss, a supervisor bug) should cost the tasks in flight,
+not the tasks already finished.  The journal records one JSON line per
+*terminal* task outcome — success, budget-UNKNOWN, or a supervision
+failure — keyed by the task's content-addressed cache key, and a resumed
+run answers journalled tasks from the journal instead of re-solving
+them.
+
+The difference from :class:`~repro.parallel.cache.ResultCache`: the
+cache is a global, cross-run memo of *deterministic solver results*
+(failures are never cached — they describe one execution, not the
+formula), while the journal is the per-run completion ledger and records
+failures too, so a resumed sweep does not re-run a task that already
+timed out with the same budgets.
+
+Crash safety is structural: lines are appended and flushed (+ fsync)
+one at a time, a torn final line from a killed writer fails JSON parsing
+and is skipped on load, and every line before it is intact.  Journal
+format::
+
+    {"kind": "entry", "key": "<sha256>", "outcome": {...payload...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+class RunJournal:
+    """Append-only JSONL ledger of finished tasks, keyed by cache key."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Terminal outcomes loaded from disk plus those recorded live.
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        #: Unparseable lines skipped on load (torn writes, corruption).
+        self.corrupt_lines = 0
+        self._load()
+        # Opened lazily so a journal that is only read never grows.
+        self._handle = None
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    outcome = record["outcome"]
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(outcome, dict):
+                    self.corrupt_lines += 1
+                    continue
+                self.completed[key] = outcome
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Outcome payload for a finished task, or None."""
+        return self.completed.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def record(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Append one terminal outcome; durable once the call returns."""
+        if key in self.completed:
+            self.completed[key] = dict(outcome)
+            return  # already journalled; don't grow the file with dupes
+        self.completed[key] = dict(outcome)
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        line = json.dumps(
+            {"kind": "entry", "key": key, "outcome": outcome},
+            separators=(",", ":"),
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass  # some filesystems refuse fsync; flush is still done
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -2,11 +2,13 @@
 
 A :class:`ProgressAggregator` is fed one event per finished task by the
 runner (from whichever process delivered the result) and keeps the
-aggregate picture: how many tasks ran vs. hit the cache, how many were
-decided within budget, cumulative solver effort, and per-policy
-breakdowns.  An optional callback receives ``(done, total, outcome)``
-after every event — the hook for progress bars or log lines — while the
-default stays silent, so library callers get statistics without output.
+aggregate picture: how many tasks ran vs. hit the cache or the resume
+journal, how many were decided within budget, how many *failed* under
+supervision and why (the TIMEOUT / ERROR / MEMOUT taxonomy), cumulative
+solver effort, and per-policy breakdowns.  An optional callback receives
+``(done, total, outcome)`` after every event — the hook for progress
+bars or log lines — while the default stays silent, so library callers
+get statistics without output.
 """
 
 from __future__ import annotations
@@ -31,22 +33,45 @@ class ProgressAggregator:
     def reset(self) -> None:
         self.done = 0
         self.cache_hits = 0
+        self.journal_hits = 0
         self.executed = 0
         self.solved = 0
+        self.failed = 0
+        self.retried = 0
+        self.retry_attempts = 0
         self.propagations = 0
         self.conflicts = 0
         self.wall_seconds = 0.0
         self.by_policy: Dict[str, int] = {}
+        #: Supervision-failure taxonomy, e.g. {"TIMEOUT": 1, "ERROR": 2}.
+        self.failures: Dict[str, int] = {}
+
+    def record_retry(self, status: Status) -> None:
+        """Account one failed attempt that is about to be retried.
+
+        Retried attempts are not terminal — they do not advance ``done``
+        or the failure taxonomy — but the count surfaces how much work
+        the retry layer is absorbing.
+        """
+        self.retry_attempts += 1
 
     def record(self, outcome) -> None:
         """Account one finished :class:`~repro.parallel.runner.SolveOutcome`."""
         self.done += 1
         if outcome.cached:
             self.cache_hits += 1
+        elif getattr(outcome, "resumed", False):
+            self.journal_hits += 1
         else:
             self.executed += 1
-        if outcome.status is not Status.UNKNOWN:
+        if outcome.status.decided:
             self.solved += 1
+        if outcome.status.failed:
+            self.failed += 1
+            name = outcome.status.value
+            self.failures[name] = self.failures.get(name, 0) + 1
+        if getattr(outcome, "attempts", 1) > 1:
+            self.retried += 1
         self.propagations += outcome.propagations
         self.conflicts += outcome.conflicts
         self.wall_seconds += outcome.wall_seconds
@@ -60,8 +85,13 @@ class ProgressAggregator:
             "done": self.done,
             "total": self.total,
             "cache_hits": self.cache_hits,
+            "journal_hits": self.journal_hits,
             "executed": self.executed,
             "solved": self.solved,
+            "failed": self.failed,
+            "retried": self.retried,
+            "retry_attempts": self.retry_attempts,
+            "failures": dict(self.failures),
             "propagations": self.propagations,
             "conflicts": self.conflicts,
             "solver_wall_seconds": round(self.wall_seconds, 6),

@@ -1,23 +1,31 @@
-"""Instance-level parallel execution with per-task result caching.
+"""Instance-level parallel execution with caching, budgets, and retry.
 
 The solver is single-threaded by nature, but the workloads around it —
 dual-policy labelling (paper Sec. 5.1), benchmark suites, ablations —
 are embarrassingly parallel across *instances*.  :class:`ParallelRunner`
-fans a list of :class:`SolveTask` out over a ``multiprocessing`` pool,
+fans a list of :class:`SolveTask` out over supervised worker processes,
 short-circuits any task whose result is already in the on-disk
-:class:`~repro.parallel.cache.ResultCache`, and returns
-:class:`SolveOutcome` records in task order, so callers see the exact
-sequential semantics at a fraction of the wall-clock.
+:class:`~repro.parallel.cache.ResultCache` or the run's
+:class:`~repro.parallel.journal.RunJournal`, and returns
+:class:`SolveOutcome` records in task order — exactly one outcome per
+task, always, even when a worker hangs, crashes, or is OOM-killed.
 
-``workers=1`` runs everything inline (no pool, no pickling) and is
-bit-for-bit identical to calling the solver directly — the parallel path
-is a pure scheduling change, never a semantic one, because the solver is
-deterministic per task.
+Fault tolerance is layered on through :mod:`repro.parallel.supervisor`:
+per-task wall-clock and memory budgets turn runaway tasks into
+``TIMEOUT`` / ``MEMOUT`` outcomes, worker crashes become ``ERROR``
+outcomes without aborting sibling tasks, and transient errors are
+retried with capped exponential backoff.  A journal makes long sweeps
+resumable: re-running an interrupted sweep with the same journal
+re-solves only the tasks that never finished.
+
+``workers=1`` with no supervision options runs everything inline (no
+processes, no pickling) and is bit-for-bit identical to calling the
+solver directly — the parallel path is a pure scheduling change, never a
+semantic one, because the solver is deterministic per task.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,7 +34,15 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.cnf.dimacs import to_dimacs
 from repro.cnf.formula import CNF
 from repro.parallel.cache import ResultCache, solve_cache_key
+from repro.parallel.journal import RunJournal
 from repro.parallel.progress import ProgressAggregator
+from repro.parallel.supervisor import (
+    FaultPlan,
+    RetryPolicy,
+    Supervisor,
+    TaskFailure,
+    WorkerBudget,
+)
 from repro.policies.registry import get_policy
 from repro.solver.solver import Solver, SolverConfig
 from repro.solver.types import Model, Status
@@ -74,13 +90,25 @@ class SolveOutcome:
     model: Optional[Model] = None
     #: True when served from the on-disk cache instead of a solver run.
     cached: bool = False
+    #: True when served from a run journal during ``--resume``.
+    resumed: bool = False
+    #: Number of execution attempts (> 1 after supervised retries).
+    attempts: int = 1
+    #: Human-readable failure detail for TIMEOUT / ERROR / MEMOUT.
+    error: str = ""
 
     @property
     def solved(self) -> bool:
-        return self.status is not Status.UNKNOWN
+        """True when the formula was decided (SAT or UNSAT)."""
+        return self.status.decided
+
+    @property
+    def failed(self) -> bool:
+        """True for supervision failures (TIMEOUT / ERROR / MEMOUT)."""
+        return self.status.failed
 
     def as_payload(self) -> Dict[str, Any]:
-        """JSON-able form for the result cache."""
+        """JSON-able form for the result cache and the run journal."""
         return {
             "tag": self.tag,
             "policy": self.policy,
@@ -92,10 +120,17 @@ class SolveOutcome:
             "reductions": self.reductions,
             "wall_seconds": self.wall_seconds,
             "model": self.model,
+            "attempts": self.attempts,
+            "error": self.error,
         }
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "SolveOutcome":
+    def from_payload(
+        cls,
+        payload: Dict[str, Any],
+        cached: bool = True,
+        resumed: bool = False,
+    ) -> "SolveOutcome":
         model = payload.get("model")
         return cls(
             tag=str(payload.get("tag", "")),
@@ -108,7 +143,29 @@ class SolveOutcome:
             reductions=int(payload["reductions"]),
             wall_seconds=float(payload["wall_seconds"]),
             model=None if model is None else list(model),
-            cached=True,
+            cached=cached,
+            resumed=resumed,
+            attempts=int(payload.get("attempts", 1)),
+            error=str(payload.get("error", "")),
+        )
+
+    @classmethod
+    def from_failure(
+        cls, task: SolveTask, status: Status, message: str, attempts: int
+    ) -> "SolveOutcome":
+        """Structured outcome for a task whose execution failed."""
+        return cls(
+            tag=task.tag,
+            policy=task.policy,
+            status=status,
+            propagations=0,
+            conflicts=0,
+            decisions=0,
+            restarts=0,
+            reductions=0,
+            wall_seconds=0.0,
+            attempts=attempts,
+            error=message,
         )
 
 
@@ -143,34 +200,96 @@ class RunnerStats:
 
     tasks: int = 0
     cache_hits: int = 0
+    journal_hits: int = 0
     executed: int = 0
     solved: int = 0
+    failed: int = 0
+    retried: int = 0
+    #: Per-status counts of supervision failures, e.g. {"TIMEOUT": 2}.
+    failures: Dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
     summary: Dict[str, object] = field(default_factory=dict)
 
 
 class ParallelRunner:
-    """Fan solve tasks out over processes, with transparent result caching."""
+    """Fan solve tasks out over supervised processes, with result caching.
+
+    Supervision options (all optional — the default configuration is the
+    plain fan-out):
+
+    ``task_timeout``
+        Hard wall-clock budget per attempt, in seconds; a task past it
+        is killed and reported as ``Status.TIMEOUT``.
+    ``memory_limit_mb``
+        Per-worker address-space cap; a breach becomes ``Status.MEMOUT``.
+    ``retries`` / ``retry_backoff``
+        Transient-failure retries with capped exponential backoff
+        (errors only by default; see :class:`RetryPolicy`).
+    ``journal``
+        Path (or :class:`RunJournal`) for the append-only completion
+        ledger; re-running with the same journal skips finished tasks.
+    ``fault_plan``
+        Deterministic fault injection for tests (:class:`FaultPlan`).
+
+    Any of these — or ``workers > 1`` — routes execution through the
+    :class:`~repro.parallel.supervisor.Supervisor` (one short-lived
+    process per task, crash-isolated).  ``workers=1`` with no
+    supervision stays fully inline.
+    """
 
     def __init__(
         self,
         workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[ProgressAggregator] = None,
+        *,
+        task_timeout: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+        retry_policy: Optional[RetryPolicy] = None,
+        journal: Optional[Union[str, Path, RunJournal]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        self.budget = WorkerBudget(
+            wall_seconds=task_timeout, rss_mb=memory_limit_mb
+        )
+        if retry_policy is not None:
+            self.retry = retry_policy
+        else:
+            self.retry = RetryPolicy(
+                max_retries=retries, backoff_seconds=retry_backoff
+            )
+        if isinstance(journal, (str, Path)):
+            journal = RunJournal(journal)
+        self.journal = journal
+        self.fault_plan = fault_plan
         self.last_stats = RunnerStats()
 
-    def run(self, tasks: Sequence[SolveTask]) -> List[SolveOutcome]:
-        """Execute every task; results come back in task order.
+    @property
+    def supervised(self) -> bool:
+        """True when execution goes through per-task worker processes."""
+        return (
+            self.workers > 1
+            or not self.budget.unlimited
+            or self.retry.max_retries > 0
+            or self.fault_plan is not None
+        )
 
-        Cached tasks are answered from disk without touching the pool;
-        fresh results are written back so the next run with the same
-        tasks performs zero solver work.
+    def run(self, tasks: Sequence[SolveTask]) -> List[SolveOutcome]:
+        """Execute every task; exactly one outcome per task, in order.
+
+        Journalled and cached tasks are answered from disk without
+        touching a worker; fresh results are written back so the next
+        run with the same tasks performs zero solver work.  Failures
+        (timeout / crash / memout) come back as structured outcomes with
+        zeroed effort counters — they never raise and never abort
+        sibling tasks.
         """
         progress = self.progress or ProgressAggregator()
         progress.total = len(tasks)
@@ -178,54 +297,127 @@ class ParallelRunner:
 
         results: List[Optional[SolveOutcome]] = [None] * len(tasks)
         pending: List[int] = []
-        keys: Dict[int, str] = {}
+        # Keys feed both stores; skip the DIMACS round-trip when neither
+        # a cache nor a journal is attached.
+        keyed = self.cache is not None or self.journal is not None
+        keys: List[str] = (
+            [task.cache_key() for task in tasks] if keyed
+            else [""] * len(tasks)
+        )
         for index, task in enumerate(tasks):
-            if self.cache is not None:
-                key = task.cache_key()
-                keys[index] = key
-                payload = self.cache.get(key)
-                if payload is not None:
-                    outcome = SolveOutcome.from_payload(payload)
-                    results[index] = outcome
-                    progress.record(outcome)
-                    continue
-            pending.append(index)
+            outcome = self._lookup(task, keys[index])
+            if outcome is not None:
+                results[index] = outcome
+                self._journal_record(keys[index], outcome)
+                progress.record(outcome)
+            else:
+                pending.append(index)
 
         if pending:
-            if self.workers == 1 or len(pending) == 1:
-                fresh = (execute_task(tasks[index]) for index in pending)
-                for index, outcome in zip(pending, fresh):
+            if not self.supervised and (self.workers == 1 or len(pending) == 1):
+                for index in pending:
+                    outcome = self._execute_inline(tasks[index])
                     self._finish(index, outcome, results, keys, progress)
             else:
-                workers = min(self.workers, len(pending))
-                with multiprocessing.Pool(processes=workers) as pool:
-                    fresh = pool.imap(
-                        execute_task,
-                        [tasks[index] for index in pending],
-                        chunksize=1,
-                    )
-                    for index, outcome in zip(pending, fresh):
-                        self._finish(index, outcome, results, keys, progress)
+                supervisor = Supervisor(
+                    workers=self.workers,
+                    budget=self.budget,
+                    retry=self.retry,
+                    fault_plan=self.fault_plan,
+                    on_retry=lambda i, a, s: progress.record_retry(s),
+                )
+
+                def on_complete(index, kind, payload, attempts):
+                    if kind == "ok":
+                        outcome = SolveOutcome.from_payload(
+                            payload, cached=False
+                        )
+                        outcome.attempts = attempts
+                    else:
+                        failure: TaskFailure = payload
+                        outcome = SolveOutcome.from_failure(
+                            tasks[index], failure.status,
+                            failure.message, attempts,
+                        )
+                    self._finish(index, outcome, results, keys, progress)
+
+                supervisor.run(
+                    [(index, tasks[index]) for index in pending], on_complete
+                )
 
         self.last_stats = RunnerStats(
             tasks=len(tasks),
             cache_hits=progress.cache_hits,
+            journal_hits=progress.journal_hits,
             executed=progress.executed,
             solved=progress.solved,
+            failed=progress.failed,
+            retried=progress.retried,
+            failures=dict(progress.failures),
             wall_seconds=time.perf_counter() - started,
             summary=progress.summary(),
         )
+        # Every slot is filled: failures become outcomes, not holes.
         return [outcome for outcome in results if outcome is not None]
+
+    # -- lookups ----------------------------------------------------------
+
+    def _lookup(self, task: SolveTask, key: str) -> Optional[SolveOutcome]:
+        """Journal first (per-run ledger), then the cross-run cache."""
+        if self.journal is not None:
+            payload = self.journal.get(key)
+            if payload is not None:
+                outcome = SolveOutcome.from_payload(
+                    payload, cached=False, resumed=True
+                )
+                outcome.tag = task.tag
+                return outcome
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                if str(payload.get("policy")) != task.policy:
+                    # A key collision would be astronomically unlikely;
+                    # a mismatched policy here means a corrupted entry.
+                    self.cache.evict(key)
+                    self.cache.corrupt_evictions += 1
+                    return None
+                outcome = SolveOutcome.from_payload(payload, cached=True)
+                # The cache key ignores the caller's label, so the entry
+                # holds whichever tag first populated it — restore ours.
+                outcome.tag = task.tag
+                return outcome
+        return None
+
+    def _execute_inline(self, task: SolveTask) -> SolveOutcome:
+        """Inline execution with the same no-exceptions contract."""
+        try:
+            return execute_task(task)
+        except MemoryError as exc:
+            return SolveOutcome.from_failure(
+                task, Status.MEMOUT, f"MemoryError: {exc}", attempts=1
+            )
+        except Exception as exc:  # noqa: BLE001 - outcome, not crash
+            return SolveOutcome.from_failure(
+                task, Status.ERROR, f"{type(exc).__name__}: {exc}", attempts=1
+            )
 
     def _finish(
         self,
         index: int,
         outcome: SolveOutcome,
         results: List[Optional[SolveOutcome]],
-        keys: Dict[int, str],
+        keys: List[str],
         progress: ProgressAggregator,
     ) -> None:
         results[index] = outcome
-        if self.cache is not None:
+        if self.cache is not None and not outcome.failed:
+            # Solver results (including budget-UNKNOWN) are deterministic
+            # and cacheable; execution failures are not facts about the
+            # formula and stay out of the cross-run cache.
             self.cache.put(keys[index], outcome.as_payload())
+        self._journal_record(keys[index], outcome)
         progress.record(outcome)
+
+    def _journal_record(self, key: str, outcome: SolveOutcome) -> None:
+        if self.journal is not None and not outcome.resumed:
+            self.journal.record(key, outcome.as_payload())

@@ -127,6 +127,9 @@ def build_dataset(
     workers: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     runner: Optional[ParallelRunner] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: Optional[Union[str, Path]] = None,
 ) -> PolicyDataset:
     """Generate, filter, and label the full dataset.
 
@@ -136,9 +139,19 @@ def build_dataset(
     result cache: rebuilding an already-labelled dataset does zero
     solver work).  The labels are identical for every worker count —
     parallelism only reorders execution, never results.
+
+    ``task_timeout`` / ``retries`` / ``journal`` route labelling through
+    the supervised execution layer (see
+    :class:`~repro.parallel.runner.ParallelRunner`): pathological
+    instances time out into label 0 instead of hanging the build, and an
+    interrupted build resumed with the same journal re-solves only the
+    unfinished tasks.
     """
     if runner is None:
-        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+        runner = ParallelRunner(
+            workers=workers, cache_dir=cache_dir,
+            task_timeout=task_timeout, retries=retries, journal=journal,
+        )
 
     # Generate and filter every instance first, then label as one batch
     # so the runner sees the full fan-out width.

@@ -111,11 +111,14 @@ def _derive_comparison(
     """The Sec. 5.1 labelling rule, shared by serial and parallel paths."""
     d = default_propagations
     f = frequency_propagations
-    decided = (
-        default_status is not Status.UNKNOWN
-        or frequency_status is not Status.UNKNOWN
-    )
-    label = 1 if (decided and d > 0 and (d - f) / d >= threshold) else 0
+    # ``decided`` means SAT/UNSAT: a budget-UNKNOWN or a supervision
+    # failure (TIMEOUT / ERROR / MEMOUT) contributes no evidence, and an
+    # instance with no decided run keeps the safe label 0.  A failed run
+    # also reports zero effort, which would fake a 100% reduction — any
+    # failure on either side therefore forces the safe label too.
+    decided = default_status.decided or frequency_status.decided
+    comparable = not (default_status.failed or frequency_status.failed)
+    label = 1 if (decided and comparable and d > 0 and (d - f) / d >= threshold) else 0
     return PolicyComparison(
         default_result_status=default_status,
         frequency_result_status=frequency_status,
@@ -174,6 +177,9 @@ def label_instances(
     runner: Optional[ParallelRunner] = None,
     workers: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: Optional[Union[str, Path]] = None,
 ) -> List[PolicyComparison]:
     """Dual-policy labelling of a batch, fanned out across cores.
 
@@ -182,9 +188,18 @@ def label_instances(
     ``workers`` processes, and any task already present in the
     ``cache_dir`` result cache is not re-solved.  With ``workers=1`` and
     no cache this is exactly ``[compare_policies(c) for c in cnfs]``.
+
+    ``task_timeout`` / ``retries`` / ``journal`` enable the supervised
+    execution layer: a hung or crashed solve becomes a failed outcome
+    (and the safe label 0) instead of stalling or aborting the sweep,
+    and re-running with the same ``journal`` path resumes an
+    interrupted sweep without re-solving finished tasks.
     """
     if runner is None:
-        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+        runner = ParallelRunner(
+            workers=workers, cache_dir=cache_dir,
+            task_timeout=task_timeout, retries=retries, journal=journal,
+        )
     tasks = labeling_tasks(
         cnfs, max_conflicts=max_conflicts,
         max_propagations=max_propagations, config=config,

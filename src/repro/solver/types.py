@@ -59,11 +59,48 @@ def lit_sign_value(lit: int) -> int:
 
 
 class Status(enum.Enum):
-    """Outcome of a solve call."""
+    """Outcome of a solve call or a supervised solve attempt.
+
+    The solver core only ever returns the first three values:
+    ``SATISFIABLE`` / ``UNSATISFIABLE`` when the formula is decided and
+    ``UNKNOWN`` when an effort budget (conflicts / propagations /
+    decisions) ran out mid-search.  The remaining values are *execution*
+    failures produced by the supervised runner
+    (:mod:`repro.parallel.supervisor`) when the process around the
+    solver misbehaved: the solver never saw the end of its input, so no
+    statement about the formula is implied.
+
+    Invariants:
+
+    * ``decided`` implies the result carries a model (SAT) or a refuted
+      formula (UNSAT); everything else carries neither.
+    * ``failed`` statuses never come out of :class:`Solver.solve` and
+      are never written to the result cache — a failed attempt is not a
+      property of the formula, only of one execution of it.
+    * ``UNKNOWN`` is deterministic (same task, same budgets, same
+      result) and therefore cacheable; ``TIMEOUT``/``ERROR``/``MEMOUT``
+      are environment-dependent and are only recorded in run journals.
+    """
 
     SATISFIABLE = "SATISFIABLE"
     UNSATISFIABLE = "UNSATISFIABLE"
     UNKNOWN = "UNKNOWN"
+    #: Supervised task exceeded its wall-clock budget and was killed.
+    TIMEOUT = "TIMEOUT"
+    #: Worker crashed: unhandled exception, hard kill, or lost channel.
+    ERROR = "ERROR"
+    #: Worker exceeded its memory budget (RLIMIT hit or OOM-killed).
+    MEMOUT = "MEMOUT"
+
+    @property
+    def decided(self) -> bool:
+        """True when the formula itself was decided (SAT or UNSAT)."""
+        return self in (Status.SATISFIABLE, Status.UNSATISFIABLE)
+
+    @property
+    def failed(self) -> bool:
+        """True for execution failures (supervision taxonomy)."""
+        return self in (Status.TIMEOUT, Status.ERROR, Status.MEMOUT)
 
     def __bool__(self) -> bool:
         # Deliberately disabled: ``if result.status`` is ambiguous.

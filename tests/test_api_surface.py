@@ -49,8 +49,10 @@ MODULES = PACKAGES + [
     "repro.policies.score",
     "repro.policies.base",
     "repro.parallel.cache",
+    "repro.parallel.journal",
     "repro.parallel.progress",
     "repro.parallel.runner",
+    "repro.parallel.supervisor",
     "repro.simplify.passes",
     "repro.simplify.elimination",
     "repro.simplify.equivalence",
