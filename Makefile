@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report quick-bench examples clean
+.PHONY: install test bench report trace-report quick-bench examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ quick-bench:
 
 report:
 	$(PYTHON) -m repro.bench.reporting
+
+# Validate and render the observability traces under TRACE_DIR (the
+# directory passed to `--trace` / $REPRO_TRACE_DIR).
+TRACE_DIR ?= out
+trace-report:
+	$(PYTHON) -m repro report --validate $(TRACE_DIR)/*.jsonl
 
 examples:
 	for script in examples/*.py; do \

@@ -29,6 +29,9 @@ Subpackages
     NeuroSelect-Kissat selector.
 ``repro.bench``
     Experiment harness reproducing every table and figure.
+``repro.obs``
+    Observability: metrics registry, structured JSONL event traces, run
+    manifests, and the ``repro report`` trace summarizer.
 """
 
 __version__ = "1.0.0"

@@ -10,6 +10,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.calibration import EffortScale
 from repro.cnf.formula import CNF
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.parallel.runner import ParallelRunner, SolveOutcome, SolveTask
 from repro.selection.labeling import default_labeling_config
 from repro.policies.registry import get_policy
@@ -76,6 +77,7 @@ def run_suite(
     task_timeout: Optional[float] = None,
     retries: int = 0,
     journal: Optional[Union[str, Path]] = None,
+    observer: Optional[Observer] = None,
 ) -> List[InstanceRecord]:
     """Run every ``LabeledInstance`` (or CNF) under one policy.
 
@@ -95,7 +97,9 @@ def run_suite(
         runner = ParallelRunner(
             workers=workers, cache_dir=cache_dir,
             task_timeout=task_timeout, retries=retries, journal=journal,
+            observer=observer,
         )
+    obs = observer if observer is not None else NULL_OBSERVER
     families = [getattr(inst, "family", "") for inst in instances]
     tasks = [
         SolveTask(
@@ -107,11 +111,27 @@ def run_suite(
         )
         for i, inst in enumerate(instances)
     ]
-    outcomes = runner.run(tasks)
-    return [
+    obs.event(
+        "suite-start",
+        policy=policy_name,
+        instances=len(tasks),
+        max_propagations=max_propagations,
+    )
+    with obs.span("suite", emit=False):
+        outcomes = runner.run(tasks)
+    records = [
         _record_from_outcome(outcome, family)
         for outcome, family in zip(outcomes, families)
     ]
+    obs.event(
+        "suite-end",
+        policy=policy_name,
+        instances=len(records),
+        solved=sum(1 for r in records if r.solved),
+        wall_seconds=round(sum(r.wall_seconds for r in records), 6),
+    )
+    obs.flush()
+    return records
 
 
 def _record_from_outcome(outcome: SolveOutcome, family: str) -> InstanceRecord:

@@ -11,10 +11,17 @@ Subcommands mirror the library's workflow:
 * ``train``      — train NeuroSelect (fresh or saved dataset), save weights
 * ``select``     — load weights, pick a policy for a formula, solve it
 * ``trim``       — solve UNSAT, emit a conflict-cone-trimmed DRAT proof
-* ``report``     — rebuild EXPERIMENTS.md from benchmark results
+* ``bench``      — run a synthetic benchmark suite under one policy
+* ``report``     — render trace reports (``repro report out/*.jsonl``),
+  or rebuild EXPERIMENTS.md from benchmark results when called bare
 
 Each subcommand is a thin shell over public library calls, so anything
 the CLI does is equally scriptable from Python.
+
+Observability: ``solve`` / ``dataset`` / ``train`` / ``bench`` accept
+``--trace DIR`` (default: the ``REPRO_TRACE_DIR`` environment variable)
+to write a structured JSONL event trace plus a run manifest, and
+``--no-metrics`` to skip in-process metric collection while tracing.
 """
 
 from __future__ import annotations
@@ -34,6 +41,46 @@ from repro.policies import get_policy, policy_names
 from repro.solver import ProofLog, Solver, Status
 
 
+def _add_obs_args(p) -> None:
+    """Shared observability flags (solve / dataset / train / bench)."""
+    p.add_argument("--trace", metavar="DIR",
+                   help="write a JSONL event trace and run manifest into "
+                        "this directory (default: $REPRO_TRACE_DIR)")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="while tracing, skip in-process counters and "
+                        "histograms (events and manifest still written)")
+
+
+def _observer_from_args(args, command: str, policy: str = ""):
+    """Build the run observer: live when tracing was asked for, else null."""
+    import os
+
+    from repro.obs import start_run
+
+    trace_dir = args.trace or os.environ.get("REPRO_TRACE_DIR") or None
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("func", "trace")
+        and isinstance(value, (str, int, float, bool, list, type(None)))
+    }
+    return start_run(
+        trace_dir,
+        command,
+        argv=sys.argv[1:],
+        config=config,
+        policy=policy,
+        metrics=not args.no_metrics,
+    )
+
+
+def _finish_observer(obs, exit_code: int) -> None:
+    """Print the trace location and emit ``run-end`` (no-op untraced)."""
+    if obs.tracing:
+        print(f"c trace {obs.sink.path}")
+    obs.finish(exit_code=exit_code)
+
+
 def _add_solve(subparsers) -> None:
     p = subparsers.add_parser("solve", help="solve a DIMACS CNF file")
     p.add_argument("file")
@@ -44,12 +91,14 @@ def _add_solve(subparsers) -> None:
     p.add_argument("--assume", type=int, nargs="*", default=[])
     p.add_argument("--preprocess", action="store_true",
                    help="run the simplification pipeline first")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_solve)
 
 
 def cmd_solve(args) -> int:
     """Handle ``repro solve``: solve a DIMACS file, print s/v lines."""
     cnf = parse_dimacs_file(args.file)
+    obs = _observer_from_args(args, "solve", policy=args.policy)
     if args.preprocess:
         from repro.simplify import solve_with_preprocessing
 
@@ -57,10 +106,13 @@ def cmd_solve(args) -> int:
             cnf,
             max_conflicts=args.max_conflicts,
             max_propagations=args.max_propagations,
+            observer=obs,
         )
     else:
         proof = ProofLog(args.proof) if args.proof else None
-        solver = Solver(cnf, policy=get_policy(args.policy), proof=proof)
+        solver = Solver(
+            cnf, policy=get_policy(args.policy), proof=proof, observer=obs
+        )
         result = solver.solve(
             assumptions=args.assume,
             max_conflicts=args.max_conflicts,
@@ -75,7 +127,9 @@ def cmd_solve(args) -> int:
         print("v " + " ".join(map(str, literals)) + " 0")
     for key, value in result.stats.to_dict().items():
         print(f"c {key} {value}")
-    return {Status.SATISFIABLE: 10, Status.UNSATISFIABLE: 20}.get(result.status, 0)
+    code = {Status.SATISFIABLE: 10, Status.UNSATISFIABLE: 20}.get(result.status, 0)
+    _finish_observer(obs, code)
+    return code
 
 
 def _add_generate(subparsers) -> None:
@@ -201,7 +255,7 @@ def _add_supervision_args(p) -> None:
                         "with the same path skips finished tasks")
 
 
-def _runner_from_args(args):
+def _runner_from_args(args, observer=None):
     """Build the supervised ParallelRunner a sweep subcommand asked for."""
     from repro.parallel import ParallelRunner
 
@@ -212,6 +266,7 @@ def _runner_from_args(args):
         memory_limit_mb=args.memory_limit_mb,
         retries=args.retries,
         journal=args.resume,
+        observer=observer,
     )
 
 
@@ -239,6 +294,7 @@ def _add_dataset(subparsers) -> None:
     p.add_argument("--per-year", type=int, default=6)
     p.add_argument("--label-budget", type=int, default=8000)
     _add_supervision_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_dataset)
 
 
@@ -246,10 +302,11 @@ def cmd_dataset(args) -> int:
     """Handle ``repro dataset``: build + save a labelled dataset."""
     from repro.selection import build_dataset, save_dataset
 
-    runner = _runner_from_args(args)
+    obs = _observer_from_args(args, "dataset")
+    runner = _runner_from_args(args, observer=obs)
     dataset = build_dataset(
         instances_per_year=args.per_year, max_conflicts=args.label_budget,
-        runner=runner,
+        runner=runner, observer=obs,
     )
     save_dataset(dataset, args.out)
     _print_sweep_stats(runner.last_stats)
@@ -259,6 +316,7 @@ def cmd_dataset(args) -> int:
         f"instances ({100 * balance['train']:.1f}% / {100 * balance['test']:.1f}% "
         f"positive)"
     )
+    _finish_observer(obs, 0)
     return 0
 
 
@@ -277,6 +335,7 @@ def _add_train(subparsers) -> None:
     p.add_argument("--augment", type=int, default=0,
                    help="symmetry-augmentation copies of the training split")
     _add_supervision_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_train)
 
 
@@ -286,13 +345,14 @@ def cmd_train(args) -> int:
     from repro.nn import save_module
     from repro.selection import Trainer, build_dataset, load_dataset
 
+    obs = _observer_from_args(args, "train")
     if args.dataset:
         dataset = load_dataset(args.dataset)
     else:
-        runner = _runner_from_args(args)
+        runner = _runner_from_args(args, observer=obs)
         dataset = build_dataset(
             instances_per_year=args.per_year, max_conflicts=args.label_budget,
-            runner=runner,
+            runner=runner, observer=obs,
         )
         _print_sweep_stats(runner.last_stats)
     train_split = dataset.train
@@ -301,7 +361,9 @@ def cmd_train(args) -> int:
 
         train_split = augment_dataset(train_split, copies=args.augment)
     model = NeuroSelect(hidden_dim=args.hidden_dim, seed=0)
-    trainer = Trainer(model, learning_rate=args.lr, epochs=args.epochs)
+    trainer = Trainer(
+        model, learning_rate=args.lr, epochs=args.epochs, observer=obs
+    )
     trainer.fit(train_split)
     trainer.calibrate_threshold(train_split, mode=args.calibrate)
     metrics = trainer.evaluate(dataset.test)
@@ -309,6 +371,7 @@ def cmd_train(args) -> int:
     print(f"saved weights to {args.out} (threshold {trainer.threshold:.3f})")
     for key, value in metrics.as_row().items():
         print(f"{key:10s} {value:6.2f}%")
+    _finish_observer(obs, 0)
     return 0
 
 
@@ -346,19 +409,86 @@ def cmd_trim(args) -> int:
     return 20
 
 
+def _add_bench(subparsers) -> None:
+    p = subparsers.add_parser(
+        "bench", help="run a synthetic benchmark suite under one policy"
+    )
+    p.add_argument("--policy", default="default", choices=policy_names())
+    p.add_argument("--instances", type=int, default=6,
+                   help="number of synthetic instances in the suite")
+    p.add_argument("--year", type=int, default=2022,
+                   help="seed block for the synthetic instance mix")
+    p.add_argument("--max-propagations", type=int, default=200_000)
+    _add_supervision_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_bench)
+
+
+def cmd_bench(args) -> int:
+    """Handle ``repro bench``: run a suite, print one record per line."""
+    from repro.bench.runner import run_suite
+    from repro.selection.dataset import _instance_pool
+
+    obs = _observer_from_args(args, "bench", policy=args.policy)
+    runner = _runner_from_args(args, observer=obs)
+    pool = _instance_pool(args.year, args.instances, scale=1.0)
+    records = run_suite(
+        [cnf for _, cnf in pool],
+        args.policy,
+        args.max_propagations,
+        runner=runner,
+        observer=obs,
+    )
+    for record, (family, _) in zip(records, pool):
+        print(
+            f"{record.name}  {family:20s} {record.status.value:14s} "
+            f"props={record.propagations:<9d} wall={record.wall_seconds:.3f}s"
+        )
+    solved = sum(1 for record in records if record.solved)
+    print(f"solved {solved}/{len(records)} under policy {args.policy}")
+    _print_sweep_stats(runner.last_stats)
+    _finish_observer(obs, 0)
+    return 0
+
+
 def _add_report(subparsers) -> None:
     p = subparsers.add_parser(
-        "report", help="rebuild EXPERIMENTS.md from benchmarks/results/"
+        "report",
+        help="summarize trace files, or rebuild EXPERIMENTS.md with no args",
     )
+    p.add_argument("traces", nargs="*",
+                   help="trace .jsonl files written by --trace; with none, "
+                        "EXPERIMENTS.md is rebuilt from benchmarks/results/")
+    p.add_argument("--validate", action="store_true",
+                   help="check every trace line against the event schema "
+                        "and exit 1 on any violation")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable summary instead of text")
     p.set_defaults(func=cmd_report)
 
 
 def cmd_report(args) -> int:
-    """Handle ``repro report``: regenerate EXPERIMENTS.md."""
-    from repro.bench.reporting import build_experiments_md
+    """Handle ``repro report``: trace summary, or EXPERIMENTS.md rebuild."""
+    if not args.traces:
+        from repro.bench.reporting import build_experiments_md
 
-    build_experiments_md()
-    print("EXPERIMENTS.md rebuilt from benchmarks/results/")
+        build_experiments_md()
+        print("EXPERIMENTS.md rebuilt from benchmarks/results/")
+        return 0
+
+    from repro.obs import render_report, summarize_traces, validate_traces
+
+    if args.validate:
+        errors = validate_traces(args.traces)
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            return 1
+    summary = summarize_traces(args.traces)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_report(summary), end="")
     return 0
 
 
@@ -416,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(subparsers)
     _add_select(subparsers)
     _add_trim(subparsers)
+    _add_bench(subparsers)
     _add_report(subparsers)
     return parser
 

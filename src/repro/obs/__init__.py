@@ -1,0 +1,81 @@
+"""Unified observability: metrics, structured traces, spans, manifests.
+
+The paper's method is *telemetry-driven* — propagation frequencies
+label the training data (Sec. 5.1) and propagation deltas decide the
+policy comparison (Table 3) — so the reproduction carries a first-class
+observability layer:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms (BCP batch sizes, learned-clause glue, task
+  latency); allocation-free per observation, near-zero cost disabled;
+* :class:`~repro.obs.trace.TraceSink` — buffered JSONL event stream
+  (``restart``, ``reduce``, ``task-finish``, ``epoch-end``, ...) with
+  monotonic timestamps and per-run IDs, torn-final-line tolerant on
+  read;
+* :class:`~repro.obs.observer.Observer` — the façade instrumented code
+  talks to: ``observer.event(...)``, ``with observer.span("reduce")``,
+  ``observer.counter(...)``.  The shared
+  :data:`~repro.obs.observer.NULL_OBSERVER` is the disabled default,
+  keeping the un-traced solve path at baseline cost;
+* :class:`~repro.obs.manifest.RunManifest` / ``start_run`` — the
+  reproducibility record (config, seeds, git describe, env) written
+  beside every traced run;
+* :mod:`repro.obs.report` — ``repro report <trace.jsonl>`` rendering:
+  per-phase time breakdowns, event counts, latency percentiles,
+  failure taxonomy, and policy comparisons.
+
+Everything is opt-in: without ``--trace`` (or ``REPRO_TRACE_DIR``) the
+solver, runner, and trainer see only the null observer.
+"""
+
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SMALL_COUNT_BUCKETS,
+    TIME_BUCKETS,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer, Span
+from repro.obs.trace import (
+    EVENT_TYPES,
+    TRACE_FORMAT_VERSION,
+    TraceSink,
+    new_run_id,
+    read_trace,
+    validate_event,
+)
+from repro.obs.manifest import (
+    RunManifest,
+    collect_manifest,
+    git_describe,
+    start_run,
+)
+from repro.obs.report import render_report, summarize_traces, validate_traces
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "RunManifest",
+    "SMALL_COUNT_BUCKETS",
+    "Span",
+    "TIME_BUCKETS",
+    "TRACE_FORMAT_VERSION",
+    "TraceSink",
+    "collect_manifest",
+    "git_describe",
+    "new_run_id",
+    "read_trace",
+    "render_report",
+    "start_run",
+    "summarize_traces",
+    "validate_event",
+    "validate_traces",
+]

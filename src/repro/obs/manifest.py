@@ -1,0 +1,169 @@
+"""Run manifests: the reproducibility record emitted beside every trace.
+
+A :class:`RunManifest` captures everything needed to re-run (or audit)
+a labelling sweep, benchmark suite, or training job: the command and
+argv, the effective configuration, seeds, the selected policy, the
+source revision (``git describe``), and the execution environment
+(Python, platform, CPU count, ``REPRO_*`` variables).  It is written as
+``<run_id>.manifest.json`` next to the trace file *and* embedded in the
+trace's ``run-start`` event, so a single ``.jsonl`` file is a complete,
+self-describing run record.
+
+:func:`start_run` is the one-call entry point the CLI uses: it builds
+the observer (sink + registry), writes the manifest, and emits
+``run-start``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.trace import TRACE_FORMAT_VERSION, TraceSink, new_run_id
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the source tree, or ``""``.
+
+    Best-effort by design: traces must work from an sdist or a
+    container without git installed.
+    """
+    repo_dir = Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    if completed.returncode != 0:
+        return ""
+    return completed.stdout.strip()
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility record for one observed run."""
+
+    run_id: str
+    command: str
+    argv: List[str] = field(default_factory=list)
+    config: Dict[str, Any] = field(default_factory=dict)
+    seeds: Dict[str, int] = field(default_factory=dict)
+    policy: str = ""
+    git: str = ""
+    python: str = ""
+    platform: str = ""
+    cpu_count: int = 0
+    env: Dict[str, str] = field(default_factory=dict)
+    created_unix: float = 0.0
+    trace_format_version: int = TRACE_FORMAT_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (field order is stable for diffing)."""
+        return {
+            "run_id": self.run_id,
+            "command": self.command,
+            "argv": list(self.argv),
+            "config": dict(self.config),
+            "seeds": dict(self.seeds),
+            "policy": self.policy,
+            "git": self.git,
+            "python": self.python,
+            "platform": self.platform,
+            "cpu_count": self.cpu_count,
+            "env": dict(self.env),
+            "created_unix": self.created_unix,
+            "trace_format_version": self.trace_format_version,
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the manifest as pretty-printed JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+
+
+def collect_manifest(
+    run_id: str,
+    command: str,
+    argv: Optional[Sequence[str]] = None,
+    config: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Dict[str, int]] = None,
+    policy: str = "",
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` from the current process state."""
+    return RunManifest(
+        run_id=run_id,
+        command=command,
+        argv=list(argv or []),
+        config=dict(config or {}),
+        seeds=dict(seeds or {}),
+        policy=policy,
+        git=git_describe(),
+        python=sys.version.split()[0],
+        platform=platform.platform(),
+        cpu_count=os.cpu_count() or 0,
+        env={
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_")
+        },
+        created_unix=time.time(),
+    )
+
+
+def start_run(
+    trace_dir: Optional[Union[str, Path]],
+    command: str,
+    argv: Optional[Sequence[str]] = None,
+    config: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Dict[str, int]] = None,
+    policy: str = "",
+    metrics: bool = True,
+) -> Observer:
+    """Build the observer for one CLI run (or return the null observer).
+
+    With ``trace_dir`` set, creates ``<dir>/<command>-<run_id>.jsonl``
+    and ``<dir>/<command>-<run_id>.manifest.json``, emits ``run-start``
+    (manifest embedded), and returns a live observer whose registry is
+    enabled unless ``metrics`` is False.  Without a trace directory the
+    shared :data:`~repro.obs.observer.NULL_OBSERVER` is returned —
+    observability stays strictly opt-in.
+
+    Callers should end the run with ``observer.finish(...)`` so the
+    ``run-end`` event (phase totals + metrics snapshot) lands in the
+    trace.
+    """
+    if trace_dir is None:
+        return NULL_OBSERVER
+    run_id = new_run_id()
+    trace_dir = Path(trace_dir)
+    sink = TraceSink(trace_dir / f"{command}-{run_id}.jsonl", run_id=run_id)
+    manifest = collect_manifest(
+        run_id, command, argv=argv, config=config, seeds=seeds, policy=policy
+    )
+    manifest.write(trace_dir / f"{command}-{run_id}.manifest.json")
+    observer = Observer(
+        sink=sink, registry=MetricsRegistry(enabled=metrics), run_id=run_id
+    )
+    observer.event(
+        "run-start",
+        command=command,
+        manifest=manifest.to_dict(),
+        format_version=TRACE_FORMAT_VERSION,
+    )
+    return observer

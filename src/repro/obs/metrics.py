@@ -1,0 +1,255 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the in-process half of the observability layer (the
+other half is the :mod:`repro.obs.trace` event stream).  Design rules,
+in priority order:
+
+1. **Allocation-free on the hot path.**  Instruments are created once
+   (``registry.counter("x")``) and then mutated in place: a counter
+   bump is one integer add, a histogram observation is one ``bisect``
+   plus one list-slot increment.  No dicts, tuples, or strings are
+   built per observation.
+2. **Near-zero overhead when disabled.**  A disabled registry hands out
+   shared *null* instruments whose mutators are no-ops, and callers on
+   genuinely hot paths (the BCP loop) are expected to skip even that by
+   checking :attr:`MetricsRegistry.enabled` once at setup and keeping
+   ``None`` instead of an instrument.
+3. **JSON-able snapshots.**  :meth:`MetricsRegistry.snapshot` renders
+   the whole registry as plain dicts, which the trace layer embeds in
+   ``solve-end`` / ``run-end`` events so ``repro report`` can show
+   histogram summaries without a live process.
+
+Buckets are fixed at histogram creation (Prometheus-style cumulative-
+free encoding: ``counts[i]`` holds observations ``<= bounds[i]``, with
+one overflow slot), so concurrent snapshots never race a resize.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bounds for durations in seconds (spans, task wall).
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+#: Default bounds for small integer distributions (glue, clause sizes).
+SMALL_COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50, 100
+)
+
+#: Default bounds for batch-size style distributions (BCP batch sizes).
+BATCH_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096
+)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (one integer add; no allocation)."""
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value metric (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``counts[i]`` counts observations ``v <= bounds[i]``; the final slot
+    counts overflows.  Bounds are frozen at construction so ``observe``
+    never allocates.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation (bisect + slot increment)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        """Average of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing the ``q``-quantile observation.
+
+        A bucket-resolution estimate (exact values are not retained);
+        overflow observations report the recorded maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of the full distribution."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": round(self.mean(), 9),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge:
+    """Shared no-op gauge handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram:
+    """Shared no-op histogram handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    def mean(self) -> float:
+        """Always 0 (nothing is recorded)."""
+        return 0.0
+
+    def quantile(self, q: float) -> float:
+        """Always 0 (nothing is recorded)."""
+        return 0.0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instrument store with get-or-create semantics.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing
+    instrument when the name is already registered, so independent
+    components share series by agreeing on names (the conventions live
+    in ``docs/observability.md``).  A disabled registry returns shared
+    null instruments and snapshots to an empty dict.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``bounds`` is only consulted at creation; later callers inherit
+        the original bucket layout.
+        """
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else TIME_BUCKETS
+            )
+        return instrument
+
+    def snapshot(self) -> Dict[str, object]:
+        """The whole registry as nested plain dicts (JSON-able)."""
+        if not self.enabled:
+            return {}
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,199 @@
+"""The :class:`Observer` façade: one handle for events, spans, metrics.
+
+Instrumented code (solver, parallel runner, trainer, bench suites)
+takes an optional ``observer`` and talks only to this object:
+
+* ``observer.event("restart", conflicts=n)`` — one structured trace
+  line, dropped silently when no sink is attached;
+* ``with observer.span("reduce", emit=True):`` — wall-clock timing that
+  lands in the ``span.<name>.seconds`` histogram, the observer's
+  in-memory per-phase totals, and (with ``emit``) a ``span`` trace
+  event.  Coarse phases emit; per-iteration phases aggregate only, so
+  traces stay compact;
+* ``observer.registry`` — the :class:`~repro.obs.metrics.MetricsRegistry`
+  for counters/gauges/histograms.
+
+The module-level :data:`NULL_OBSERVER` is the disabled default: no
+sink, disabled registry, and ``span`` returns a shared no-op context
+manager.  Components keep a reference to it instead of ``None`` so call
+sites need no branching — but genuinely hot paths should still check
+:attr:`Observer.enabled` once at setup and skip instrumentation
+entirely, which is what keeps the disabled solve path at baseline cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
+from repro.obs.trace import TraceSink, new_run_id
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled observers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed phase; records on exit (see :meth:`Observer.span`)."""
+
+    __slots__ = ("observer", "name", "emit", "fields", "start")
+
+    def __init__(
+        self,
+        observer: "Observer",
+        name: str,
+        emit: bool,
+        fields: Optional[Dict[str, Any]],
+    ):
+        self.observer = observer
+        self.name = name
+        self.emit = emit
+        self.fields = fields
+        self.start = 0.0
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        seconds = time.perf_counter() - self.start
+        self.observer._record_span(self.name, seconds, self.emit, self.fields)
+
+
+class Observer:
+    """Bundles a trace sink and a metrics registry for one run."""
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        registry: Optional[MetricsRegistry] = None,
+        run_id: Optional[str] = None,
+    ):
+        self.sink = sink
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(enabled=False)
+        )
+        if run_id is not None:
+            self.run_id = run_id
+        elif sink is not None:
+            self.run_id = sink.run_id
+        else:
+            self.run_id = new_run_id()
+        #: In-memory per-phase aggregates: name -> [count, total_seconds].
+        self._spans: Dict[str, List[float]] = {}
+
+    @property
+    def tracing(self) -> bool:
+        """True when events are being written to a sink."""
+        return self.sink is not None
+
+    @property
+    def enabled(self) -> bool:
+        """True when any instrumentation (events or metrics) is live."""
+        return self.sink is not None or self.registry.enabled
+
+    # -- events -----------------------------------------------------------
+
+    def event(self, event: str, **fields: Any) -> None:
+        """Emit one structured trace event (no-op without a sink)."""
+        if self.sink is not None:
+            self.sink.emit(event, fields)
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, emit: bool = False, **fields: Any):
+        """Context manager timing one phase.
+
+        Durations always feed the in-memory phase totals and (when
+        metrics are enabled) the ``span.<name>.seconds`` histogram;
+        ``emit=True`` additionally writes a ``span`` trace event —
+        reserve it for coarse, infrequent phases.
+        """
+        if self.sink is None and not self.registry.enabled:
+            return _NULL_SPAN
+        return Span(self, name, emit, fields or None)
+
+    def _record_span(
+        self,
+        name: str,
+        seconds: float,
+        emit: bool,
+        fields: Optional[Dict[str, Any]],
+    ) -> None:
+        entry = self._spans.get(name)
+        if entry is None:
+            entry = self._spans[name] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += seconds
+        if self.registry.enabled:
+            self.registry.histogram(
+                f"span.{name}.seconds", TIME_BUCKETS
+            ).observe(seconds)
+        if emit and self.sink is not None:
+            record: Dict[str, Any] = {
+                "name": name,
+                "seconds": round(seconds, 6),
+            }
+            if fields:
+                record.update(fields)
+            self.sink.emit("span", record)
+
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals so far: ``{name: {count, seconds}}``."""
+        return {
+            name: {"count": int(count), "seconds": round(total, 6)}
+            for name, (count, total) in sorted(self._spans.items())
+        }
+
+    # -- metrics delegates ------------------------------------------------
+
+    def counter(self, name: str):
+        """Shorthand for ``observer.registry.counter(name)``."""
+        return self.registry.counter(name)
+
+    def gauge(self, name: str):
+        """Shorthand for ``observer.registry.gauge(name)``."""
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, bounds=None):
+        """Shorthand for ``observer.registry.histogram(name, bounds)``."""
+        return self.registry.histogram(name, bounds)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def finish(self, **fields: Any) -> None:
+        """Emit ``run-end`` (phases + metrics snapshot) and close the sink."""
+        if self.sink is not None:
+            self.sink.emit("run-end", {
+                "phases": self.span_summary(),
+                "metrics": self.registry.snapshot(),
+                **fields,
+            })
+        self.close()
+
+    def flush(self) -> None:
+        """Flush buffered trace lines to disk."""
+        if self.sink is not None:
+            self.sink.flush()
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent; keeps the registry)."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+#: The disabled observer every component defaults to.  Shared and
+#: stateless-by-convention: never attach a sink to it.
+NULL_OBSERVER = Observer()

@@ -1,0 +1,301 @@
+"""Trace analysis: turn ``.jsonl`` run traces into human-readable reports.
+
+``repro report <trace.jsonl> ...`` renders, per the ISSUE's contract:
+
+* **per-phase time breakdown** — from each run's ``run-end`` phase
+  totals (falling back to aggregating ``span`` events for truncated
+  traces);
+* **event counts** — restarts, reductions (with clauses deleted),
+  rephases, simplify passes, and the rest of the event taxonomy;
+* **task latency** — exact percentiles over ``task-finish`` wall-clock
+  (the supervisor measures failed attempts too, so timeouts show their
+  real cost);
+* **failure taxonomy** — TIMEOUT / ERROR / MEMOUT counts plus retry
+  volume;
+* **policy comparison** — per-policy effort aggregates, with the
+  propagation delta when exactly two policies appear (the Table 3
+  shape);
+* **metric histograms** — registry snapshots embedded in ``run-end``
+  (BCP batch sizes, learned-clause glue, span durations).
+
+Everything works from the files alone — no live process, no pickle —
+so traces from remote sweeps can be analysed anywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.trace import read_trace
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Exact nearest-rank percentile of a non-empty sorted list."""
+    if not values:
+        return 0.0
+    rank = max(0, min(len(values) - 1, int(round(q * (len(values) - 1)))))
+    return values[rank]
+
+
+def summarize_traces(
+    paths: Sequence[Union[str, Path]]
+) -> Dict[str, Any]:
+    """Aggregate one or more trace files into a JSON-able summary."""
+    runs: List[Dict[str, Any]] = []
+    errors: List[str] = []
+    event_counts: Dict[str, int] = {}
+    phases: Dict[str, Dict[str, float]] = {}
+    deleted_clauses = 0
+    simplify_removed = 0
+    task_wall: List[float] = []
+    cached_tasks = 0
+    resumed_tasks = 0
+    retries = 0
+    failures: Dict[str, int] = {}
+    by_policy: Dict[str, Dict[str, float]] = {}
+    metrics_by_run: Dict[str, Dict[str, Any]] = {}
+    solves: List[Dict[str, Any]] = []
+
+    for path in paths:
+        events, file_errors = read_trace(path)
+        errors.extend(f"{path}: {err}" for err in file_errors)
+        run_phases: Dict[str, Dict[str, float]] = {}
+        span_fallback: Dict[str, List[float]] = {}
+        run_info: Dict[str, Any] = {"file": str(path)}
+        for record in events:
+            kind = record["event"]
+            event_counts[kind] = event_counts.get(kind, 0) + 1
+            run_info.setdefault("run_id", record["run_id"])
+            if kind == "run-start":
+                manifest = record.get("manifest", {})
+                run_info["command"] = record.get("command", "")
+                run_info["git"] = manifest.get("git", "")
+                run_info["policy"] = manifest.get("policy", "")
+            elif kind == "run-end":
+                run_phases = record.get("phases", {}) or {}
+                metrics = record.get("metrics")
+                if metrics:
+                    metrics_by_run[record["run_id"]] = metrics
+            elif kind == "span":
+                entry = span_fallback.setdefault(record.get("name", "?"), [0, 0.0])
+                entry[0] += 1
+                entry[1] += float(record.get("seconds", 0.0))
+            elif kind == "reduce":
+                deleted_clauses += int(record.get("deleted", 0))
+            elif kind == "simplify-pass":
+                simplify_removed += int(record.get("removed", 0))
+            elif kind == "task-retry":
+                retries += 1
+            elif kind == "task-finish":
+                status = str(record.get("status", ""))
+                if record.get("cached"):
+                    cached_tasks += 1
+                elif record.get("resumed"):
+                    resumed_tasks += 1
+                else:
+                    task_wall.append(float(record.get("wall_seconds", 0.0)))
+                if status in ("TIMEOUT", "ERROR", "MEMOUT"):
+                    failures[status] = failures.get(status, 0) + 1
+                policy = str(record.get("policy", ""))
+                if policy:
+                    agg = by_policy.setdefault(policy, {
+                        "tasks": 0, "decided": 0, "failed": 0,
+                        "propagations": 0, "conflicts": 0, "wall_seconds": 0.0,
+                    })
+                    agg["tasks"] += 1
+                    agg["decided"] += 1 if status in ("SATISFIABLE", "UNSATISFIABLE") else 0
+                    agg["failed"] += 1 if status in ("TIMEOUT", "ERROR", "MEMOUT") else 0
+                    agg["propagations"] += int(record.get("propagations", 0))
+                    agg["conflicts"] += int(record.get("conflicts", 0))
+                    agg["wall_seconds"] += float(record.get("wall_seconds", 0.0))
+            elif kind == "solve-end":
+                solves.append({
+                    "status": record.get("status", ""),
+                    "policy": record.get("policy", ""),
+                    "wall_seconds": float(record.get("wall_seconds", 0.0)),
+                    "stats": record.get("stats", {}),
+                })
+        if not run_phases and span_fallback:
+            run_phases = {
+                name: {"count": count, "seconds": total}
+                for name, (count, total) in span_fallback.items()
+            }
+        for name, entry in run_phases.items():
+            merged = phases.setdefault(name, {"count": 0, "seconds": 0.0})
+            merged["count"] += int(entry.get("count", 0))
+            merged["seconds"] += float(entry.get("seconds", 0.0))
+        runs.append(run_info)
+
+    task_wall.sort()
+    latency = {}
+    if task_wall:
+        latency = {
+            "tasks": len(task_wall),
+            "total_seconds": round(sum(task_wall), 6),
+            "p50": round(_percentile(task_wall, 0.50), 6),
+            "p90": round(_percentile(task_wall, 0.90), 6),
+            "p99": round(_percentile(task_wall, 0.99), 6),
+            "max": round(task_wall[-1], 6),
+        }
+    return {
+        "files": [str(p) for p in paths],
+        "runs": runs,
+        "errors": errors,
+        "event_counts": dict(sorted(event_counts.items())),
+        "phases": phases,
+        "deleted_clauses": deleted_clauses,
+        "simplify_removed": simplify_removed,
+        "latency": latency,
+        "cached_tasks": cached_tasks,
+        "resumed_tasks": resumed_tasks,
+        "retries": retries,
+        "failures": failures,
+        "by_policy": by_policy,
+        "metrics_by_run": metrics_by_run,
+        "solves": solves,
+    }
+
+
+def _render_histogram(name: str, snapshot: Dict[str, Any]) -> List[str]:
+    """Render one histogram snapshot as indented text lines."""
+    count = snapshot.get("count", 0)
+    lines = [
+        f"  {name}: n={count} mean={snapshot.get('mean', 0.0):.4g} "
+        f"min={snapshot.get('min', 0.0):.4g} max={snapshot.get('max', 0.0):.4g}"
+    ]
+    if not count:
+        return lines
+    bounds = snapshot.get("bounds", [])
+    counts = snapshot.get("counts", [])
+    peak = max(counts) or 1
+    for i, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        label = f"<= {bounds[i]:g}" if i < len(bounds) else f"> {bounds[-1]:g}"
+        bar = "#" * max(1, round(20 * bucket_count / peak))
+        lines.append(f"    {label:>12s} {bucket_count:8d} {bar}")
+    return lines
+
+
+def render_report(summary: Dict[str, Any]) -> str:
+    """Format a :func:`summarize_traces` summary as a text report."""
+    out: List[str] = []
+    out.append(f"trace report over {len(summary['files'])} file(s)")
+    for run in summary["runs"]:
+        bits = [run.get("run_id", "?")]
+        if run.get("command"):
+            bits.append(f"command={run['command']}")
+        if run.get("git"):
+            bits.append(f"git={run['git']}")
+        out.append(f"  run {'  '.join(bits)}")
+
+    if summary["errors"]:
+        out.append("")
+        out.append(f"schema errors ({len(summary['errors'])}):")
+        out.extend(f"  {err}" for err in summary["errors"])
+
+    out.append("")
+    out.append("event counts:")
+    for name, count in summary["event_counts"].items():
+        out.append(f"  {name:16s} {count}")
+    if summary["deleted_clauses"]:
+        out.append(f"  clauses deleted across reductions: "
+                   f"{summary['deleted_clauses']}")
+    if summary["simplify_removed"]:
+        out.append(f"  clauses removed by simplify passes: "
+                   f"{summary['simplify_removed']}")
+
+    phases = summary["phases"]
+    if phases:
+        out.append("")
+        out.append("per-phase time breakdown:")
+        total = sum(entry["seconds"] for entry in phases.values()) or 1.0
+        ordered = sorted(
+            phases.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        )
+        for name, entry in ordered:
+            out.append(
+                f"  {name:20s} {entry['seconds']:10.4f}s "
+                f"x{int(entry['count']):<6d} {100 * entry['seconds'] / total:5.1f}%"
+            )
+
+    if summary["latency"]:
+        lat = summary["latency"]
+        out.append("")
+        out.append(
+            f"task latency ({lat['tasks']} executed, "
+            f"{summary['cached_tasks']} cached, "
+            f"{summary['resumed_tasks']} resumed):"
+        )
+        out.append(
+            f"  p50={lat['p50']:.4f}s p90={lat['p90']:.4f}s "
+            f"p99={lat['p99']:.4f}s max={lat['max']:.4f}s "
+            f"total={lat['total_seconds']:.2f}s"
+        )
+
+    if summary["failures"] or summary["retries"]:
+        out.append("")
+        out.append("failure taxonomy:")
+        for status, count in sorted(summary["failures"].items()):
+            out.append(f"  {status:10s} {count}")
+        if summary["retries"]:
+            out.append(f"  retried attempts: {summary['retries']}")
+
+    by_policy = summary["by_policy"]
+    if by_policy:
+        out.append("")
+        out.append("policy comparison:")
+        for policy, agg in sorted(by_policy.items()):
+            tasks = int(agg["tasks"]) or 1
+            out.append(
+                f"  {policy:12s} tasks={int(agg['tasks']):<5d} "
+                f"decided={int(agg['decided']):<5d} "
+                f"failed={int(agg['failed']):<4d} "
+                f"props={int(agg['propagations']):<12d} "
+                f"mean wall={agg['wall_seconds'] / tasks:.4f}s"
+            )
+        if len(by_policy) == 2:
+            (name_a, a), (name_b, b) = sorted(by_policy.items())
+            if a["propagations"]:
+                delta = 1.0 - b["propagations"] / a["propagations"]
+                out.append(
+                    f"  {name_b} vs {name_a}: {100 * delta:+.2f}% propagations"
+                )
+
+    for solve in summary["solves"]:
+        out.append("")
+        out.append(
+            f"solve: {solve['status']} policy={solve['policy']} "
+            f"wall={solve['wall_seconds']:.4f}s"
+        )
+        stats = solve.get("stats", {})
+        if stats:
+            keys = ("conflicts", "propagations", "restarts", "reductions",
+                    "deleted_clauses", "learned_clauses")
+            out.append("  " + "  ".join(
+                f"{k}={stats[k]}" for k in keys if k in stats
+            ))
+
+    for run_id, metrics in summary["metrics_by_run"].items():
+        histograms = metrics.get("histograms", {})
+        counters = metrics.get("counters", {})
+        if not histograms and not counters:
+            continue
+        out.append("")
+        out.append(f"metrics ({run_id}):")
+        for name, value in counters.items():
+            out.append(f"  {name}: {value}")
+        for name, snapshot in histograms.items():
+            out.extend(_render_histogram(name, snapshot))
+
+    return "\n".join(out) + "\n"
+
+
+def validate_traces(paths: Sequence[Union[str, Path]]) -> List[str]:
+    """Schema-check trace files; returns all errors (empty = valid)."""
+    errors: List[str] = []
+    for path in paths:
+        _, file_errors = read_trace(path)
+        errors.extend(f"{path}: {err}" for err in file_errors)
+    return errors

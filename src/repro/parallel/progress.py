@@ -15,19 +15,42 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
 from repro.solver.types import Status
 
 
 class ProgressAggregator:
-    """Collects completion events from a runner into summary statistics."""
+    """Collects completion events from a runner into summary statistics.
+
+    With a live :class:`~repro.obs.metrics.MetricsRegistry` attached,
+    every completion event also feeds the shared metric series
+    (``runner.done``, ``runner.executed``, ``runner.solved``, ...) and
+    the ``runner.task_wall_seconds`` latency histogram, so runner
+    progress and solver metrics land in one registry snapshot instead
+    of two parallel bookkeeping systems.
+    """
 
     def __init__(
         self,
         total: int = 0,
         callback: Optional[Callable[[int, int, object], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.total = total
         self.callback = callback
+        if registry is not None and registry.enabled:
+            self._m_done = registry.counter("runner.done")
+            self._m_cache_hits = registry.counter("runner.cache_hits")
+            self._m_journal_hits = registry.counter("runner.journal_hits")
+            self._m_executed = registry.counter("runner.executed")
+            self._m_solved = registry.counter("runner.solved")
+            self._m_failed = registry.counter("runner.failed")
+            self._m_retry_attempts = registry.counter("runner.retry_attempts")
+            self._m_wall = registry.histogram(
+                "runner.task_wall_seconds", TIME_BUCKETS
+            )
+        else:
+            self._m_wall = None
         self.reset()
 
     def reset(self) -> None:
@@ -54,6 +77,8 @@ class ProgressAggregator:
         the retry layer is absorbing.
         """
         self.retry_attempts += 1
+        if self._m_wall is not None:
+            self._m_retry_attempts.inc()
 
     def record(self, outcome) -> None:
         """Account one finished :class:`~repro.parallel.runner.SolveOutcome`."""
@@ -76,6 +101,19 @@ class ProgressAggregator:
         self.conflicts += outcome.conflicts
         self.wall_seconds += outcome.wall_seconds
         self.by_policy[outcome.policy] = self.by_policy.get(outcome.policy, 0) + 1
+        if self._m_wall is not None:
+            self._m_done.inc()
+            if outcome.cached:
+                self._m_cache_hits.inc()
+            elif getattr(outcome, "resumed", False):
+                self._m_journal_hits.inc()
+            else:
+                self._m_executed.inc()
+                self._m_wall.observe(outcome.wall_seconds)
+            if outcome.status.decided:
+                self._m_solved.inc()
+            if outcome.status.failed:
+                self._m_failed.inc()
         if self.callback is not None:
             self.callback(self.done, self.total, outcome)
 

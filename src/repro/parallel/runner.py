@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.cnf.dimacs import to_dimacs
 from repro.cnf.formula import CNF
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.parallel.cache import ResultCache, solve_cache_key
 from repro.parallel.journal import RunJournal
 from repro.parallel.progress import ProgressAggregator
@@ -151,9 +152,19 @@ class SolveOutcome:
 
     @classmethod
     def from_failure(
-        cls, task: SolveTask, status: Status, message: str, attempts: int
+        cls,
+        task: SolveTask,
+        status: Status,
+        message: str,
+        attempts: int,
+        wall_seconds: float = 0.0,
     ) -> "SolveOutcome":
-        """Structured outcome for a task whose execution failed."""
+        """Structured outcome for a task whose execution failed.
+
+        ``wall_seconds`` is the supervisor-measured cost of the final
+        attempt — a timed-out task really did burn its budget, and that
+        shows up in latency summaries instead of a misleading zero.
+        """
         return cls(
             tag=task.tag,
             policy=task.policy,
@@ -163,7 +174,7 @@ class SolveOutcome:
             decisions=0,
             restarts=0,
             reductions=0,
-            wall_seconds=0.0,
+            wall_seconds=wall_seconds,
             attempts=attempts,
             error=message,
         )
@@ -250,12 +261,14 @@ class ParallelRunner:
         retry_policy: Optional[RetryPolicy] = None,
         journal: Optional[Union[str, Path, RunJournal]] = None,
         fault_plan: Optional[FaultPlan] = None,
+        observer: Optional[Observer] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.budget = WorkerBudget(
             wall_seconds=task_timeout, rss_mb=memory_limit_mb
         )
@@ -291,7 +304,9 @@ class ParallelRunner:
         zeroed effort counters — they never raise and never abort
         sibling tasks.
         """
-        progress = self.progress or ProgressAggregator()
+        progress = self.progress or ProgressAggregator(
+            registry=self.observer.registry
+        )
         progress.total = len(tasks)
         started = time.perf_counter()
 
@@ -310,21 +325,41 @@ class ParallelRunner:
                 results[index] = outcome
                 self._journal_record(keys[index], outcome)
                 progress.record(outcome)
+                self._trace_finish(index, outcome)
             else:
                 pending.append(index)
 
+        observer = self.observer
         if pending:
             if not self.supervised and (self.workers == 1 or len(pending) == 1):
                 for index in pending:
+                    observer.event(
+                        "task-start", index=index, attempt=1,
+                        tag=tasks[index].tag, policy=tasks[index].policy,
+                    )
                     outcome = self._execute_inline(tasks[index])
                     self._finish(index, outcome, results, keys, progress)
             else:
+                def on_retry(index, attempt, status):
+                    progress.record_retry(status)
+                    observer.event(
+                        "task-retry", index=index, attempt=attempt,
+                        status=status.value,
+                    )
+
+                def on_start(index, attempt):
+                    observer.event(
+                        "task-start", index=index, attempt=attempt,
+                        tag=tasks[index].tag, policy=tasks[index].policy,
+                    )
+
                 supervisor = Supervisor(
                     workers=self.workers,
                     budget=self.budget,
                     retry=self.retry,
                     fault_plan=self.fault_plan,
-                    on_retry=lambda i, a, s: progress.record_retry(s),
+                    on_retry=on_retry,
+                    on_start=on_start if observer.tracing else None,
                 )
 
                 def on_complete(index, kind, payload, attempts):
@@ -338,6 +373,7 @@ class ParallelRunner:
                         outcome = SolveOutcome.from_failure(
                             tasks[index], failure.status,
                             failure.message, attempts,
+                            wall_seconds=failure.wall_seconds,
                         )
                     self._finish(index, outcome, results, keys, progress)
 
@@ -357,6 +393,7 @@ class ParallelRunner:
             wall_seconds=time.perf_counter() - started,
             summary=progress.summary(),
         )
+        self.observer.flush()
         # Every slot is filled: failures become outcomes, not holes.
         return [outcome for outcome in results if outcome is not None]
 
@@ -417,6 +454,25 @@ class ParallelRunner:
             self.cache.put(keys[index], outcome.as_payload())
         self._journal_record(keys[index], outcome)
         progress.record(outcome)
+        self._trace_finish(index, outcome)
+
+    def _trace_finish(self, index: int, outcome: SolveOutcome) -> None:
+        """Emit the ``task-finish`` trace event for one terminal outcome."""
+        if not self.observer.tracing:
+            return
+        self.observer.event(
+            "task-finish",
+            index=index,
+            tag=outcome.tag,
+            policy=outcome.policy,
+            status=outcome.status.value,
+            wall_seconds=round(outcome.wall_seconds, 6),
+            attempts=outcome.attempts,
+            cached=outcome.cached,
+            resumed=outcome.resumed,
+            propagations=outcome.propagations,
+            conflicts=outcome.conflicts,
+        )
 
     def _journal_record(self, key: str, outcome: SolveOutcome) -> None:
         if self.journal is not None and not outcome.resumed:

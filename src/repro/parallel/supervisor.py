@@ -237,6 +237,10 @@ class TaskFailure:
 
     status: Status
     message: str
+    #: Wall-clock of the failed attempt as measured by the supervisor —
+    #: the real cost of a timeout or crash, which the worker itself can
+    #: no longer report.
+    wall_seconds: float = 0.0
 
 
 @dataclass
@@ -248,6 +252,7 @@ class _Running:
     process: multiprocessing.process.BaseProcess
     conn: multiprocessing.connection.Connection
     deadline: Optional[float]
+    started: float = 0.0
 
 
 @dataclass
@@ -277,6 +282,7 @@ class Supervisor:
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         on_retry: Optional[Callable[[int, int, Status], None]] = None,
+        on_start: Optional[Callable[[int, int], None]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -285,6 +291,9 @@ class Supervisor:
         self.retry = retry or RetryPolicy()
         self.fault_plan = fault_plan
         self.on_retry = on_retry
+        #: Called as ``on_start(index, attempt)`` right after a worker
+        #: process launches — the trace hook for ``task-start`` events.
+        self.on_start = on_start
         self._ctx = multiprocessing.get_context()
 
     # -- scheduling -------------------------------------------------------
@@ -328,13 +337,17 @@ class Supervisor:
             )
             process.start()
             child_conn.close()  # parent keeps only the read end
+            started = time.monotonic()
             deadline = None
             if self.budget.wall_seconds is not None:
-                deadline = time.monotonic() + self.budget.wall_seconds
+                deadline = started + self.budget.wall_seconds
             running[item.index] = _Running(
                 index=item.index, attempt=item.attempt,
                 process=process, conn=parent_conn, deadline=deadline,
+                started=started,
             )
+            if self.on_start is not None:
+                self.on_start(item.index, item.attempt)
 
     def _wait(self, queue, running, now) -> None:
         """Block until a worker reports, times out, or a retry matures."""
@@ -376,7 +389,11 @@ class Supervisor:
             else:
                 status = Status.MEMOUT if kind == "memout" else Status.ERROR
                 self._fail_or_retry(
-                    slot, TaskFailure(status, str(payload)),
+                    slot,
+                    TaskFailure(
+                        status, str(payload),
+                        wall_seconds=self._elapsed(slot),
+                    ),
                     queue, on_complete,
                 )
 
@@ -385,14 +402,19 @@ class Supervisor:
         self._join(slot)
         del running[slot.index]
         code = slot.process.exitcode
+        elapsed = self._elapsed(slot)
         if code == -signal.SIGKILL and self.budget.rss_mb is not None:
             # SIGKILL under a memory budget is the OOM-killer signature.
             failure = TaskFailure(
-                Status.MEMOUT, f"worker killed (exit {code}) under memory budget"
+                Status.MEMOUT,
+                f"worker killed (exit {code}) under memory budget",
+                wall_seconds=elapsed,
             )
         else:
             failure = TaskFailure(
-                Status.ERROR, f"worker died without result (exit {code})"
+                Status.ERROR,
+                f"worker died without result (exit {code})",
+                wall_seconds=elapsed,
             )
         self._fail_or_retry(slot, failure, queue, on_complete)
 
@@ -410,6 +432,7 @@ class Supervisor:
             failure = TaskFailure(
                 Status.TIMEOUT,
                 f"wall-clock budget ({self.budget.wall_seconds:.3g}s) exceeded",
+                wall_seconds=self._elapsed(slot),
             )
             self._fail_or_retry(slot, failure, queue, on_complete)
 
@@ -427,6 +450,11 @@ class Supervisor:
             on_complete(slot.index, "failed", failure, slot.attempt)
 
     # -- process plumbing -------------------------------------------------
+
+    @staticmethod
+    def _elapsed(slot: _Running) -> float:
+        """Attempt wall-clock so far, from the supervisor's own clock."""
+        return max(0.0, time.monotonic() - slot.started)
 
     def _kill(self, slot: _Running) -> None:
         try:

@@ -25,6 +25,7 @@ from repro.cnf.generators import (
     random_ksat,
 )
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs.observer import Observer
 from repro.parallel.runner import ParallelRunner
 from repro.selection.labeling import PolicyComparison, label_instances
 
@@ -130,6 +131,7 @@ def build_dataset(
     task_timeout: Optional[float] = None,
     retries: int = 0,
     journal: Optional[Union[str, Path]] = None,
+    observer: Optional[Observer] = None,
 ) -> PolicyDataset:
     """Generate, filter, and label the full dataset.
 
@@ -151,6 +153,7 @@ def build_dataset(
         runner = ParallelRunner(
             workers=workers, cache_dir=cache_dir,
             task_timeout=task_timeout, retries=retries, journal=journal,
+            observer=observer,
         )
 
     # Generate and filter every instance first, then label as one batch
@@ -166,6 +169,7 @@ def build_dataset(
         [cnf for _, _, cnf in entries],
         max_conflicts=max_conflicts,
         runner=runner,
+        observer=observer,
     )
 
     dataset = PolicyDataset()

@@ -11,11 +11,13 @@ measure").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.cnf.formula import CNF
+from repro.obs.observer import Observer
 from repro.parallel.runner import ParallelRunner, SolveOutcome, SolveTask
 from repro.policies import DefaultPolicy, FrequencyPolicy
 from repro.solver.solver import Solver, SolverConfig, SolveResult
@@ -46,6 +48,14 @@ class PolicyComparison:
     default_propagations: int
     frequency_propagations: int
     label: int
+    #: Measured wall-clock per policy run.  Labels are derived from
+    #: propagations (the paper's deterministic measure); wall-clock is
+    #: recorded alongside for cost accounting and latency reports, and
+    #: defaults to 0.0 so datasets written before it existed still load.
+    #: Excluded from equality: two runs of the same instance are the
+    #: same comparison even though their timings jitter.
+    default_wall_seconds: float = field(default=0.0, compare=False)
+    frequency_wall_seconds: float = field(default=0.0, compare=False)
 
     @property
     def reduction(self) -> float:
@@ -84,20 +94,26 @@ def compare_policies(
     treatment of its unsolved training instances.
     """
     config = config or default_labeling_config()
+    start = time.perf_counter()
     default_result = run_policy(
         cnf, "default", max_conflicts=max_conflicts,
         max_propagations=max_propagations, config=config,
     )
+    default_wall = time.perf_counter() - start
+    start = time.perf_counter()
     frequency_result = run_policy(
         cnf, "frequency", max_conflicts=max_conflicts,
         max_propagations=max_propagations, config=config,
     )
+    frequency_wall = time.perf_counter() - start
     return _derive_comparison(
         default_result.status,
         frequency_result.status,
         default_result.stats.propagations,
         frequency_result.stats.propagations,
         threshold,
+        default_wall_seconds=default_wall,
+        frequency_wall_seconds=frequency_wall,
     )
 
 
@@ -107,6 +123,8 @@ def _derive_comparison(
     default_propagations: int,
     frequency_propagations: int,
     threshold: float,
+    default_wall_seconds: float = 0.0,
+    frequency_wall_seconds: float = 0.0,
 ) -> PolicyComparison:
     """The Sec. 5.1 labelling rule, shared by serial and parallel paths."""
     d = default_propagations
@@ -125,6 +143,8 @@ def _derive_comparison(
         default_propagations=d,
         frequency_propagations=f,
         label=label,
+        default_wall_seconds=default_wall_seconds,
+        frequency_wall_seconds=frequency_wall_seconds,
     )
 
 
@@ -140,6 +160,8 @@ def comparison_from_outcomes(
         default_outcome.propagations,
         frequency_outcome.propagations,
         threshold,
+        default_wall_seconds=default_outcome.wall_seconds,
+        frequency_wall_seconds=frequency_outcome.wall_seconds,
     )
 
 
@@ -180,6 +202,7 @@ def label_instances(
     task_timeout: Optional[float] = None,
     retries: int = 0,
     journal: Optional[Union[str, Path]] = None,
+    observer: Optional[Observer] = None,
 ) -> List[PolicyComparison]:
     """Dual-policy labelling of a batch, fanned out across cores.
 
@@ -199,7 +222,9 @@ def label_instances(
         runner = ParallelRunner(
             workers=workers, cache_dir=cache_dir,
             task_timeout=task_timeout, retries=retries, journal=journal,
+            observer=observer,
         )
+    observer = observer if observer is not None else runner.observer
     tasks = labeling_tasks(
         cnfs, max_conflicts=max_conflicts,
         max_propagations=max_propagations, config=config,
@@ -207,7 +232,17 @@ def label_instances(
     outcomes = runner.run(tasks)
     comparisons: List[PolicyComparison] = []
     for i in range(0, len(outcomes), 2):
-        comparisons.append(
-            comparison_from_outcomes(outcomes[i], outcomes[i + 1], threshold)
+        comparison = comparison_from_outcomes(
+            outcomes[i], outcomes[i + 1], threshold
         )
+        comparisons.append(comparison)
+        observer.event(
+            "label",
+            instance=i // 2,
+            label=comparison.label,
+            reduction=round(comparison.reduction, 6),
+            default_propagations=comparison.default_propagations,
+            frequency_propagations=comparison.frequency_propagations,
+        )
+    observer.flush()
     return comparisons

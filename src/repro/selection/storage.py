@@ -33,6 +33,8 @@ def _instance_to_dict(instance: LabeledInstance) -> dict:
             "default_propagations": comparison.default_propagations,
             "frequency_propagations": comparison.frequency_propagations,
             "label": comparison.label,
+            "default_wall_seconds": comparison.default_wall_seconds,
+            "frequency_wall_seconds": comparison.frequency_wall_seconds,
         },
     }
 
@@ -45,6 +47,10 @@ def _instance_from_dict(payload: dict) -> LabeledInstance:
         default_propagations=int(raw["default_propagations"]),
         frequency_propagations=int(raw["frequency_propagations"]),
         label=int(raw["label"]),
+        # Absent in datasets written before wall-clock recording; the
+        # format stays version 1 because old files remain fully valid.
+        default_wall_seconds=float(raw.get("default_wall_seconds", 0.0)),
+        frequency_wall_seconds=float(raw.get("frequency_wall_seconds", 0.0)),
     )
     return LabeledInstance(
         cnf=parse_dimacs(payload["dimacs"]),

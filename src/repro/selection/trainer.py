@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.nn.loss import bce_with_logits
 from repro.nn.optim import Adam
 from repro.nn.schedulers import CosineAnnealingLR, EarlyStopping, Scheduler, StepLR
@@ -44,8 +45,10 @@ class Trainer:
         scheduler: Optional[str] = None,
         early_stopping_patience: Optional[int] = None,
         batch_size: int = 1,
+        observer: Optional[Observer] = None,
     ):
         self.model = model
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.optimizer = Adam(model.parameters(), lr=learning_rate)
         self.epochs = epochs
         self.shuffle_seed = shuffle_seed
@@ -99,6 +102,14 @@ class Trainer:
         order = list(range(len(instances)))
         rng = random.Random(self.shuffle_seed)
         history = TrainingHistory()
+        obs = self.observer
+        obs.event(
+            "train-start",
+            model=type(self.model).__name__,
+            instances=len(instances),
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+        )
 
         for epoch in range(self.epochs):
             rng.shuffle(order)
@@ -134,6 +145,16 @@ class Trainer:
                     total_loss += loss.item() * len(chunk)
             history.losses.append(total_loss / len(order))
             history.accuracies.append(correct / len(order))
+            if obs.enabled:
+                obs.event(
+                    "epoch-end",
+                    epoch=epoch + 1,
+                    loss=round(history.losses[-1], 6),
+                    accuracy=round(history.accuracies[-1], 6),
+                    grad_norm=round(self._grad_norm(), 6),
+                    lr=getattr(self.optimizer, "lr", 0.0),
+                )
+                obs.histogram("trainer.epoch_loss").observe(history.losses[-1])
             if log_every and (epoch + 1) % log_every == 0:
                 msg = (
                     f"epoch {epoch + 1}/{self.epochs} "
@@ -150,7 +171,25 @@ class Trainer:
             ):
                 break
         self.calibrate_threshold(instances, mode="balanced")
+        obs.event(
+            "train-end",
+            epochs_run=len(history.losses),
+            final_loss=round(history.final_loss, 6)
+            if history.losses else None,
+            threshold=round(self.threshold, 6),
+        )
+        obs.flush()
         return history
+
+    def _grad_norm(self) -> float:
+        """L2 norm of the most recent step's gradients (0 when absent)."""
+        total = 0.0
+        for parameter in self.model.parameters():
+            grad = getattr(parameter, "grad", None)
+            if grad is None:
+                continue
+            total += float((grad ** 2).sum())
+        return total ** 0.5
 
     def evaluate(self, instances: Sequence[LabeledInstance]) -> ClassificationMetrics:
         """Classification metrics of the current model on a split.

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional
 
 from repro.cnf.formula import CNF
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.simplify.elimination import ModelReconstructor, eliminate_variables
 from repro.simplify.passes import (
     SimplifyConflict,
@@ -93,6 +94,7 @@ class Preprocessor:
         elimination_growth: int = 0,
         elimination_max_occurrences: int = 10,
         max_probes: int = 256,
+        observer: Optional[Observer] = None,
     ):
         if max_rounds < 1:
             raise ValueError("need at least one round")
@@ -109,6 +111,7 @@ class Preprocessor:
         self.elimination_growth = elimination_growth
         self.elimination_max_occurrences = elimination_max_occurrences
         self.max_probes = max_probes
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     def preprocess(self, cnf: CNF) -> PreprocessResult:
         """Simplify ``cnf``; never changes satisfiability."""
@@ -128,6 +131,9 @@ class Preprocessor:
             for _ in range(self.max_rounds):
                 result.stats.rounds += 1
                 changed = False
+                clauses_before = len(clauses)
+                round_span = self.observer.span("simplify")
+                round_span.__enter__()
 
                 clauses, fixed = propagate_units(clauses)
                 for var, value in fixed.items():
@@ -226,6 +232,16 @@ class Preprocessor:
                     result.stats.blocked_clauses += blocked
                     changed = changed or blocked > 0
 
+                round_span.__exit__(None, None, None)
+                self.observer.event(
+                    "simplify-pass",
+                    round=result.stats.rounds,
+                    clauses_before=clauses_before,
+                    clauses_after=len(clauses),
+                    removed=max(0, clauses_before - len(clauses)),
+                    fixed=len(fixed),
+                    changed=changed,
+                )
                 if not changed:
                     break
         except SimplifyConflict:
@@ -240,14 +256,15 @@ def solve_with_preprocessing(
     cnf: CNF,
     preprocessor: Optional[Preprocessor] = None,
     config: Optional[SolverConfig] = None,
+    observer: Optional[Observer] = None,
     **budgets: Optional[int],
 ) -> SolveResult:
     """Preprocess, solve the residual formula, and reconstruct the model."""
-    preprocessor = preprocessor or Preprocessor()
+    preprocessor = preprocessor or Preprocessor(observer=observer)
     pre = preprocessor.preprocess(cnf)
     if pre.status is Status.UNSATISFIABLE:
         return SolveResult(status=Status.UNSATISFIABLE)
-    result = Solver(pre.cnf, config=config).solve(**budgets)
+    result = Solver(pre.cnf, config=config, observer=observer).solve(**budgets)
     if result.status is Status.SATISFIABLE:
         full_model = pre.reconstruct(result.model)
         assert cnf.check_model(full_model), "reconstructed model must satisfy input"

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs.metrics import BATCH_BUCKETS, MetricsRegistry
 from repro.solver.assignment import Trail
 from repro.solver.clause_db import SolverClause
 from repro.solver.statistics import SolverStatistics
@@ -49,6 +50,7 @@ class Propagator:
         trail: Trail,
         watches: WatchLists,
         stats: SolverStatistics,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.trail = trail
         self.watches = watches
@@ -59,6 +61,14 @@ class Propagator:
         self._lifetime_base: List[int] = [0] * (trail.num_vars + 1)
         # Running max of ``frequency``, kept in sync by every bump.
         self._max_frequency: int = 0
+        # Observability stays entirely off the inner loop: the only hook
+        # is one histogram observation per propagate() *call* (the BCP
+        # batch size), and with metrics disabled even that collapses to
+        # a single None check in _flush.
+        if metrics is not None and metrics.enabled:
+            self._batch_hist = metrics.histogram("bcp.batch_size", BATCH_BUCKETS)
+        else:
+            self._batch_hist = None
 
     @property
     def lifetime_frequency(self) -> List[int]:
@@ -316,3 +326,6 @@ class Propagator:
         """Write loop-local counters back to shared state."""
         self._max_frequency = maxf
         self.stats.propagations += propagated
+        self.stats.bcp_rounds += 1
+        if self._batch_hist is not None:
+            self._batch_hist.observe(propagated)

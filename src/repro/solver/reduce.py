@@ -18,8 +18,9 @@ get rarer as the database matures.  At each round:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.policies.base import DeletionPolicy
 from repro.solver.assignment import Trail
 from repro.solver.clause_db import ClauseDatabase, SolverClause
@@ -43,6 +44,7 @@ class ReduceScheduler:
         interval_growth: int = 100,
         target_fraction: float = 0.5,
         protect_used: bool = True,
+        observer: Optional[Observer] = None,
     ):
         if not 0.0 < target_fraction <= 1.0:
             raise ValueError("target_fraction must be in (0, 1]")
@@ -56,6 +58,7 @@ class ReduceScheduler:
         self.interval_growth = interval_growth
         self.target_fraction = target_fraction
         self.protect_used = protect_used
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._limit = interval
         self._rounds = 0
 
@@ -64,6 +67,19 @@ class ReduceScheduler:
 
     def reduce(self) -> int:
         """Run one reduction round; returns the number of clauses deleted."""
+        with self.observer.span("reduce"):
+            deleted, candidates = self._reduce()
+        self.observer.event(
+            "reduce",
+            round=self._rounds,
+            conflicts=self.stats.conflicts,
+            candidates=candidates,
+            deleted=deleted,
+        )
+        return deleted
+
+    def _reduce(self) -> "tuple[int, int]":
+        """The reduction round proper: (clauses deleted, candidates seen)."""
         self._rounds += 1
         self._limit = self.stats.conflicts + self.interval + (
             self.interval_growth * self._rounds
@@ -101,4 +117,4 @@ class ReduceScheduler:
         self.stats.deleted_clauses += deleted
         # Eq. (2) counts propagations "since the last clause deletion".
         self.propagator.reset_frequencies()
-        return deleted
+        return deleted, len(candidates)

@@ -12,6 +12,8 @@ clauses and activities) to escape unproductive subtrees.  Two policies:
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 
 def luby(i: int) -> int:
     """The i-th term (1-based) of the Luby sequence: 1 1 2 1 1 2 4 1 1 2 ...
@@ -67,6 +69,7 @@ class SwitchingRestarts:
         mode_interval: int = 1000,
         fast_alpha: float = 1.0 / 32.0,
         slow_alpha: float = 1.0 / 4096.0,
+        on_switch: Optional[Callable[[int, str], None]] = None,
     ):
         if mode_interval < 1:
             raise ValueError("mode_interval must be >= 1")
@@ -77,6 +80,10 @@ class SwitchingRestarts:
         self._conflicts = 0
         self._switch_limit = mode_interval
         self._interval = mode_interval
+        #: Called as ``on_switch(switch_count, new_mode)`` after every
+        #: mode change; lets the solver trace mode switches without this
+        #: class knowing about observability.
+        self.on_switch = on_switch
 
     @property
     def _current(self):
@@ -90,6 +97,10 @@ class SwitchingRestarts:
             self.switches += 1
             self._interval *= 2
             self._switch_limit = self._conflicts + self._interval
+            if self.on_switch is not None:
+                self.on_switch(
+                    self.switches, "stable" if self.in_stable else "focused"
+                )
 
     def should_restart(self) -> bool:
         return self._current.should_restart()

@@ -19,10 +19,13 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.cnf.formula import CNF
+from repro.obs.metrics import SMALL_COUNT_BUCKETS
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.policies.base import DeletionPolicy
 from repro.policies.default_policy import DefaultPolicy
 from repro.solver.analyze import ConflictAnalyzer
@@ -115,11 +118,21 @@ class Solver:
         policy: Optional[DeletionPolicy] = None,
         config: Optional[SolverConfig] = None,
         proof: Optional[ProofLog] = None,
+        observer: Optional[Observer] = None,
     ):
         self.cnf = cnf
         self.config = config or SolverConfig()
         self.policy = policy or DefaultPolicy()
         self.proof = proof
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        registry = self.observer.registry
+        # Kept as None when metrics are off so _install_learned pays a
+        # single identity check per learned clause, nothing more.
+        self._glue_hist = (
+            registry.histogram("solver.learned_glue", SMALL_COUNT_BUCKETS)
+            if registry.enabled
+            else None
+        )
 
         num_vars = cnf.num_vars
         self.stats = SolverStatistics()
@@ -127,7 +140,12 @@ class Solver:
         self.watches = WatchLists(num_vars)
         self.clause_db = ClauseDatabase(keep_glue=self.config.keep_glue)
         self.clause_db.clause_decay = self.config.clause_decay
-        self.propagator = Propagator(self.trail, self.watches, self.stats)
+        self.propagator = Propagator(
+            self.trail,
+            self.watches,
+            self.stats,
+            metrics=registry if registry.enabled else None,
+        )
         if self.config.decision_heuristic == "vmtf":
             self.decider = VMTFDecider(
                 self.trail, initial_phase=self.config.initial_phase
@@ -152,13 +170,19 @@ class Solver:
             interval_growth=self.config.reduce_interval_growth,
             target_fraction=self.config.reduce_fraction,
             protect_used=self.config.protect_used,
+            observer=self.observer,
         )
         if self.config.restart_mode == "luby":
             self.restarts = LubyRestarts(base=self.config.luby_base)
         elif self.config.restart_mode == "ema":
             self.restarts = EMARestarts()
         elif self.config.restart_mode == "switching":
-            self.restarts = SwitchingRestarts(luby_base=self.config.luby_base)
+            self.restarts = SwitchingRestarts(
+                luby_base=self.config.luby_base,
+                on_switch=self._on_mode_switch
+                if self.observer.tracing
+                else None,
+            )
         else:
             self.restarts = _NoRestarts()
         self._rephase_limit = self.config.rephase_interval or 0
@@ -259,11 +283,22 @@ class Solver:
 
     # -- learned clause installation ------------------------------------------
 
+    def _on_mode_switch(self, switches: int, mode: str) -> None:
+        """Trace callback for :class:`SwitchingRestarts` mode changes."""
+        self.observer.event(
+            "mode-switch",
+            switches=switches,
+            mode=mode,
+            conflicts=self.stats.conflicts,
+        )
+
     def _install_learned(self, lits: List[int], glue: int) -> None:
         """Attach a learned clause and assert its first literal."""
         self.stats.learned_clauses += 1
         self.stats.learned_literals += len(lits)
         self.stats.glue_sum += glue
+        if self._glue_hist is not None:
+            self._glue_hist.observe(glue)
         if self.proof is not None:
             self.proof.add_clause(lits)
         if len(lits) == 1:
@@ -298,7 +333,47 @@ class Solver:
         UNSAT answer then means "unsatisfiable under these assumptions".
         Budgets are absolute counter values, making repeated calls with
         the same limits idempotent in effort.
+
+        With a live observer the call is bracketed by ``solve-start`` /
+        ``solve-end`` events (the latter carrying wall-clock time and
+        the full statistics snapshot); the disabled path costs exactly
+        one extra method call and one attribute check.
         """
+        observer = self.observer
+        if not observer.enabled:
+            return self._solve(
+                assumptions, max_conflicts, max_propagations, max_decisions
+            )
+        observer.event(
+            "solve-start",
+            policy=self.policy.name,
+            num_vars=self.cnf.num_vars,
+            num_clauses=len(self.cnf.clauses),
+            assumptions=len(assumptions),
+        )
+        start = time.perf_counter()
+        with observer.span("solve"):
+            result = self._solve(
+                assumptions, max_conflicts, max_propagations, max_decisions
+            )
+        observer.event(
+            "solve-end",
+            status=result.status.name,
+            policy=result.policy_name,
+            wall_seconds=round(time.perf_counter() - start, 6),
+            stats=result.stats.to_dict(),
+        )
+        observer.flush()
+        return result
+
+    def _solve(
+        self,
+        assumptions: Sequence[int],
+        max_conflicts: Optional[int],
+        max_propagations: Optional[int],
+        max_decisions: Optional[int],
+    ) -> SolveResult:
+        """The CDCL loop proper (see :meth:`solve`)."""
         if self._inconsistent:
             return self._result(Status.UNSATISFIABLE)
         # Incremental reuse: drop any search state left by a previous call
@@ -341,6 +416,11 @@ class Solver:
                 self.stats.restarts += 1
                 self.restarts.on_restart()
                 self._backtrack(0)
+                self.observer.event(
+                    "restart",
+                    restarts=self.stats.restarts,
+                    conflicts=self.stats.conflicts,
+                )
                 continue
 
             # Re-decide any assumption not yet on the trail.
@@ -409,6 +489,10 @@ class Solver:
         style = styles[self._rephase_cycle % len(styles)]
         self._rephase_cycle += 1
         self.decider.rephase(style, initial_phase=self.config.initial_phase)
+        self.stats.rephases += 1
+        self.observer.event(
+            "rephase", style=style, conflicts=self.stats.conflicts
+        )
 
     def _next_assumption(self, assumed: List[int]) -> Optional[int]:
         """Next unsatisfied assumption literal; -1 when one is falsified."""
@@ -473,7 +557,10 @@ def solve(
     cnf: CNF,
     policy: Optional[DeletionPolicy] = None,
     config: Optional[SolverConfig] = None,
+    observer: Optional[Observer] = None,
     **budgets: Optional[int],
 ) -> SolveResult:
     """One-shot convenience wrapper around :class:`Solver`."""
-    return Solver(cnf, policy=policy, config=config).solve(**budgets)
+    return Solver(
+        cnf, policy=policy, config=config, observer=observer
+    ).solve(**budgets)

@@ -7,7 +7,7 @@ propagation counts for the same reason — CPU time is noisy, Sec. 5.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass, asdict, fields
 from typing import Dict
 
 
@@ -26,6 +26,10 @@ class SolverStatistics:
     minimized_literals: int = 0
     max_trail: int = 0
     glue_sum: int = 0
+    #: Number of ``propagate()`` invocations; ``propagations /
+    #: bcp_rounds`` is the mean BCP batch size.
+    bcp_rounds: int = 0
+    rephases: int = 0
 
     def mean_glue(self) -> float:
         """Average LBD of learned clauses so far (0 when none learned)."""
@@ -46,17 +50,11 @@ class SolverStatistics:
         return out
 
     def reset(self) -> None:
-        for name in (
-            "decisions",
-            "propagations",
-            "conflicts",
-            "restarts",
-            "reductions",
-            "learned_clauses",
-            "learned_literals",
-            "deleted_clauses",
-            "minimized_literals",
-            "max_trail",
-            "glue_sum",
-        ):
-            setattr(self, name, 0)
+        """Zero every counter.
+
+        The field list is derived from ``dataclasses.fields`` so new
+        counters are reset automatically instead of silently surviving
+        a reset (the failure mode of the old hand-maintained tuple).
+        """
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.selection",
     "repro.bench",
+    "repro.obs",
 ]
 
 MODULES = PACKAGES + [
@@ -85,6 +86,11 @@ MODULES = PACKAGES + [
     "repro.bench.tables",
     "repro.bench.experiments",
     "repro.bench.reporting",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.obs.observer",
+    "repro.obs.manifest",
+    "repro.obs.report",
 ]
 
 
