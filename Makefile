@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report trace-report quick-bench examples clean
+.PHONY: install test bench report trace-report quick-bench fuzz-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,15 @@ quick-bench:
 	REPRO_BENCH_PER_YEAR=3 REPRO_BENCH_LABEL_BUDGET=2000 \
 	REPRO_BENCH_EPOCHS=8 REPRO_BENCH_SOLVE_BUDGET=100000 \
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Small deterministic differential-fuzzing campaign; mirrors the CI
+# fuzz-smoke job.  Shrunk repros land in $(FUZZ_CORPUS).
+FUZZ_SEEDS ?= 60
+FUZZ_CORPUS ?= fuzz-corpus
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --seeds $(FUZZ_SEEDS) --budget 2000 \
+		--workers 2 --shrink --corpus $(FUZZ_CORPUS) \
+		--trace $(FUZZ_CORPUS)/traces
 
 report:
 	$(PYTHON) -m repro.bench.reporting

@@ -12,6 +12,9 @@ Subcommands mirror the library's workflow:
 * ``select``     — load weights, pick a policy for a formula, solve it
 * ``trim``       — solve UNSAT, emit a conflict-cone-trimmed DRAT proof
 * ``bench``      — run a synthetic benchmark suite under one policy
+* ``fuzz``       — differential fuzz campaign against the oracle bank
+  (``--shrink`` minimizes failures into a replayable corpus; ``--replay``
+  re-checks stored corpus entries)
 * ``report``     — render trace reports (``repro report out/*.jsonl``),
   or rebuild EXPERIMENTS.md from benchmark results when called bare
 
@@ -451,6 +454,81 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _add_fuzz(subparsers) -> None:
+    p = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzz campaign: cross-check the solver against "
+             "the oracle bank, shrink failures into a replayable corpus",
+    )
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of fuzz cases (one generator draw each)")
+    p.add_argument("--budget", type=int, default=2000,
+                   help="max conflicts per solve (deterministic budget)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="solve subjects across this many processes")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="campaign root seed; same seed, same report")
+    p.add_argument("--families", nargs="*",
+                   choices=sorted(GENERATOR_FAMILIES), metavar="FAMILY",
+                   help="generator families to draw from (default: all)")
+    p.add_argument("--mutants", type=int, default=2,
+                   help="metamorphic mutants derived per case")
+    p.add_argument("--shrink", action="store_true",
+                   help="ddmin-minimize every failure and write it to the "
+                        "corpus as a DIMACS + manifest repro pair")
+    p.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
+                   help="failure corpus directory (with --shrink)")
+    p.add_argument("--task-timeout", type=float,
+                   help="wall-clock seconds per solve attempt (supervised)")
+    p.add_argument("--cache-dir",
+                   help="on-disk result cache for the solve fan-out")
+    p.add_argument("--replay", nargs="+", metavar="MANIFEST",
+                   help="replay corpus entries (.json manifests) through "
+                        "the full oracle bank instead of running a campaign")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_fuzz)
+
+
+def cmd_fuzz(args) -> int:
+    """Handle ``repro fuzz``: run a campaign, or replay corpus entries."""
+    from repro.fuzz import (
+        CampaignConfig,
+        render_report,
+        replay_entry,
+        run_campaign,
+    )
+
+    if args.replay:
+        failures = 0
+        for manifest in args.replay:
+            found = replay_entry(manifest)
+            verdict = "clean" if not found else f"{len(found)} discrepancies"
+            print(f"{manifest}: {verdict}")
+            for discrepancy in found:
+                print(f"  {discrepancy.summary()}")
+            failures += len(found)
+        return 1 if failures else 0
+
+    obs = _observer_from_args(args, "fuzz")
+    config = CampaignConfig(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        budget=args.budget,
+        workers=args.workers,
+        families=args.families or (),
+        mutants=args.mutants,
+        shrink=args.shrink,
+        corpus_dir=args.corpus if args.shrink else None,
+        task_timeout=args.task_timeout,
+        cache_dir=args.cache_dir,
+    )
+    report = run_campaign(config, observer=obs)
+    print(render_report(report))
+    code = 0 if report.clean else 1
+    _finish_observer(obs, code)
+    return code
+
+
 def _add_report(subparsers) -> None:
     p = subparsers.add_parser(
         "report",
@@ -547,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_select(subparsers)
     _add_trim(subparsers)
     _add_bench(subparsers)
+    _add_fuzz(subparsers)
     _add_report(subparsers)
     return parser
 

@@ -20,6 +20,7 @@ from repro.cnf.transforms import (
     shuffle_clauses,
     rename_variables,
     flip_polarity,
+    duplicate_clauses,
     compact_variables,
     augment,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "shuffle_clauses",
     "rename_variables",
     "flip_polarity",
+    "duplicate_clauses",
     "compact_variables",
     "augment",
     "GeneratorSpec",

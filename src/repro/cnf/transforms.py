@@ -69,6 +69,22 @@ def flip_polarity(cnf: CNF, variables: Optional[Sequence[int]] = None, seed: int
     return out
 
 
+def duplicate_clauses(cnf: CNF, fraction: float = 0.25, seed: int = 0) -> CNF:
+    """Append copies of a random clause subset (satisfiability invariant).
+
+    Conjunction is idempotent, so repeating clauses never changes the
+    set of models — but it does perturb watch-list layout, clause-db
+    ordering, and deletion-policy scores, which makes duplication a
+    useful metamorphic mutation for differential fuzzing.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    clauses = [list(c.literals) for c in cnf.clauses]
+    extras = [list(c) for c in clauses if rng.random() < fraction]
+    return CNF(clauses + extras, num_vars=cnf.num_vars, comments=list(cnf.comments))
+
+
 def compact_variables(cnf: CNF) -> CNF:
     """Renumber so that used variables become 1..k (gaps removed)."""
     used = sorted(cnf.variables())

@@ -1,0 +1,277 @@
+"""Delta-debugging CNF minimizer and the replayable failure corpus.
+
+When a fuzz campaign finds a discrepancy, the raw formula is rarely the
+best artifact — a 400-clause community instance hides the six clauses
+that actually trigger the bug.  :func:`shrink` runs ddmin-style clause
+removal (Zeller's delta debugging specialized to CNF, the cnfdd
+approach) followed by whole-variable removal, keeping every reduction
+step only while the caller's *failure predicate* still holds, and is
+fully deterministic.
+
+:class:`FailureCorpus` turns a shrunk failure into a permanent,
+replayable regression: a minimal DIMACS file plus a JSON manifest
+recording the generator provenance, oracle, budget, and the exact CLI
+replay command.  :func:`replay_entry` is that command's engine — it
+re-runs the full oracle bank on the stored formula, so a fixed bug
+stays fixed and a still-live bug reproduces from nothing but the
+corpus directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cnf.dimacs import parse_dimacs_file, write_dimacs_file
+from repro.cnf.formula import CNF
+from repro.cnf.transforms import compact_variables
+from repro.fuzz.oracles import (
+    DEFAULT_BUDGET,
+    Discrepancy,
+    OracleBank,
+    OracleContext,
+    SolveFn,
+    formula_key,
+)
+
+#: Corpus manifest schema version.
+CORPUS_FORMAT_VERSION = 1
+
+#: A failure predicate: True while the (shrunk) formula still fails.
+Predicate = Callable[[CNF], bool]
+
+ClauseList = List[List[int]]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one :func:`shrink` call."""
+
+    cnf: CNF
+    original_clauses: int
+    original_vars: int
+    predicate_calls: int = 0
+    rounds: int = 0
+
+    @property
+    def clauses(self) -> int:
+        """Clause count of the minimized formula."""
+        return self.cnf.num_clauses
+
+
+def _clauses_of(cnf: CNF) -> ClauseList:
+    return [list(c.literals) for c in cnf.clauses]
+
+
+def _rebuild(clauses: ClauseList, num_vars: int) -> CNF:
+    return CNF(clauses, num_vars=num_vars)
+
+
+class _PredicateCounter:
+    """Wraps the failure predicate, counting and memoizing evaluations."""
+
+    def __init__(self, predicate: Predicate, num_vars: int):
+        self.predicate = predicate
+        self.num_vars = num_vars
+        self.calls = 0
+        self._memo: Dict[str, bool] = {}
+
+    def holds(self, clauses: ClauseList) -> bool:
+        """True when the candidate clause list still triggers the failure."""
+        cnf = _rebuild(clauses, self.num_vars)
+        key = formula_key(cnf)
+        if key not in self._memo:
+            self.calls += 1
+            self._memo[key] = bool(self.predicate(cnf))
+        return self._memo[key]
+
+
+def _ddmin(clauses: ClauseList, holds: _PredicateCounter) -> Tuple[ClauseList, int]:
+    """Classic ddmin over clauses: remove complement chunks, refine.
+
+    Returns the 1-minimal-by-chunks clause list and the number of
+    granularity rounds performed.
+    """
+    rounds = 0
+    granularity = 2
+    while len(clauses) >= 2:
+        rounds += 1
+        chunk = max(1, len(clauses) // granularity)
+        reduced = False
+        start = 0
+        while start < len(clauses):
+            candidate = clauses[:start] + clauses[start + chunk:]
+            if candidate and holds.holds(candidate):
+                clauses = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(clauses):
+                break
+            granularity = min(len(clauses), granularity * 2)
+    return clauses, rounds
+
+
+def _drop_variables(clauses: ClauseList, holds: _PredicateCounter) -> ClauseList:
+    """Try removing every clause mentioning one variable, per variable."""
+    for var in sorted({abs(lit) for clause in clauses for lit in clause}):
+        candidate = [c for c in clauses if all(abs(lit) != var for lit in c)]
+        if candidate and len(candidate) < len(clauses) and holds.holds(candidate):
+            clauses = candidate
+    return clauses
+
+
+def shrink(
+    cnf: CNF,
+    predicate: Predicate,
+    max_rounds: int = 50,
+) -> ShrinkResult:
+    """Minimize ``cnf`` while ``predicate`` keeps holding.
+
+    The input must itself satisfy the predicate (raises ``ValueError``
+    otherwise — a predicate that never held would "minimize" to
+    garbage).  Clause-level ddmin runs to a fixpoint (bounded by
+    ``max_rounds``), then whole variables are dropped, then variables
+    are compacted to ``1..k`` when the renumbered formula still fails.
+    """
+    counter = _PredicateCounter(predicate, cnf.num_vars)
+    clauses = _clauses_of(cnf)
+    if not counter.holds(clauses):
+        raise ValueError("predicate does not hold on the input formula")
+
+    total_rounds = 0
+    while total_rounds < max_rounds:
+        before = len(clauses)
+        clauses, rounds = _ddmin(clauses, counter)
+        total_rounds += max(rounds, 1)
+        clauses = _drop_variables(clauses, counter)
+        if len(clauses) == before:
+            break
+
+    shrunk = _rebuild(clauses, cnf.num_vars)
+    compacted = compact_variables(shrunk)
+    if predicate(compacted):
+        shrunk = compacted
+    return ShrinkResult(
+        cnf=shrunk,
+        original_clauses=cnf.num_clauses,
+        original_vars=cnf.num_vars,
+        predicate_calls=counter.calls,
+        rounds=total_rounds,
+    )
+
+
+def discrepancy_predicate(
+    bank: OracleBank,
+    target: Discrepancy,
+    budget: int = DEFAULT_BUDGET,
+    solve_fn: Optional[SolveFn] = None,
+) -> Predicate:
+    """Predicate: the bank still reports ``target``'s failure mode.
+
+    Matching is by (oracle, kind) — the literal expected/observed
+    strings legitimately change as the formula shrinks.
+    """
+
+    def predicate(cnf: CNF) -> bool:
+        ctx = OracleContext(case="shrink", budget=budget, solve_fn=solve_fn)
+        return any(found.matches(target) for found in bank.check(cnf, ctx))
+
+    return predicate
+
+
+class FailureCorpus:
+    """A directory of minimized, replayable failure cases.
+
+    Every entry is a pair of sibling files: ``<name>.cnf`` (minimal
+    DIMACS) and ``<name>.json`` (the repro manifest: provenance,
+    oracle, budget, replay command).  Names are content-addressed, so
+    re-finding the same minimal failure never duplicates an entry.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def add(
+        self,
+        cnf: CNF,
+        discrepancy: Discrepancy,
+        budget: int = DEFAULT_BUDGET,
+        generator: Optional[Dict[str, Any]] = None,
+        original_clauses: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Path:
+        """Write one corpus entry; returns the manifest path.
+
+        ``name`` overrides the content-addressed default — used for
+        hand-curated entries whose file names should stay descriptive.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if name is None:
+            name = f"{discrepancy.oracle}-{formula_key(cnf)[:10]}"
+        cnf_path = self.root / f"{name}.cnf"
+        manifest_path = self.root / f"{name}.json"
+        write_dimacs_file(cnf, cnf_path)
+        manifest = {
+            "schema": CORPUS_FORMAT_VERSION,
+            "name": name,
+            "oracle": discrepancy.oracle,
+            "kind": discrepancy.kind,
+            "case": discrepancy.case,
+            "expected": discrepancy.expected,
+            "observed": discrepancy.observed,
+            "detail": discrepancy.detail,
+            "budget": budget,
+            "generator": generator or {},
+            "clauses": cnf.num_clauses,
+            "variables": cnf.num_vars,
+            "original_clauses": (
+                cnf.num_clauses if original_clauses is None else original_clauses
+            ),
+            "replay": f"python -m repro fuzz --replay {manifest_path}",
+        }
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return manifest_path
+
+    def entries(self) -> List[Path]:
+        """All manifest paths in the corpus, sorted by name."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+
+def load_entry(manifest_path: Union[str, Path]) -> Tuple[Dict[str, Any], CNF]:
+    """Load one corpus entry: (manifest dict, parsed formula)."""
+    manifest_path = Path(manifest_path)
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    cnf_path = manifest_path.with_suffix(".cnf")
+    if not cnf_path.is_file():
+        raise FileNotFoundError(f"corpus entry missing DIMACS file: {cnf_path}")
+    return manifest, parse_dimacs_file(cnf_path)
+
+
+def replay_entry(
+    manifest_path: Union[str, Path],
+    bank: Optional[OracleBank] = None,
+    solve_fn: Optional[SolveFn] = None,
+) -> List[Discrepancy]:
+    """Re-run the full oracle bank on one stored corpus entry.
+
+    Returns whatever the bank finds *today*: empty for a fixed (or
+    hand-built trap) entry, the original failure mode for a still-live
+    bug.  ``solve_fn`` lets tests replay against an injected-bug solver.
+    """
+    manifest, cnf = load_entry(manifest_path)
+    bank = bank or OracleBank()
+    ctx = OracleContext(
+        case=str(manifest.get("name", Path(manifest_path).stem)),
+        budget=int(manifest.get("budget", DEFAULT_BUDGET)),
+        solve_fn=solve_fn,
+    )
+    return bank.check(cnf, ctx)

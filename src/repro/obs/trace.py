@@ -51,6 +51,8 @@ EVENT_TYPES = frozenset({
     "train-start", "train-end", "epoch-end",
     # benchmark suites (repro.bench.runner)
     "suite-start", "suite-end",
+    # differential fuzzing (repro.fuzz)
+    "fuzz-start", "fuzz-case", "fuzz-discrepancy", "fuzz-shrink", "fuzz-end",
     # generic timing span
     "span",
 })

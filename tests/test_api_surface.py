@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.selection",
     "repro.bench",
     "repro.obs",
+    "repro.fuzz",
 ]
 
 MODULES = PACKAGES + [
@@ -91,6 +92,9 @@ MODULES = PACKAGES + [
     "repro.obs.observer",
     "repro.obs.manifest",
     "repro.obs.report",
+    "repro.fuzz.oracles",
+    "repro.fuzz.campaign",
+    "repro.fuzz.shrink",
 ]
 
 

@@ -59,6 +59,56 @@ class TestCheckDrat:
         assert check_drat(CNF([[]]), "")
 
 
+class TestDratEdgeCases:
+    """Boundary behaviour of the checker itself (fuzz-oracle support)."""
+
+    def test_empty_formula_empty_proof_not_unsat(self):
+        # Zero clauses is trivially SAT; an empty proof must not certify UNSAT.
+        with pytest.raises(DratError, match="empty clause"):
+            check_drat(CNF([], num_vars=0), "")
+
+    def test_empty_formula_empty_proof_partial_ok(self):
+        assert check_drat(CNF([], num_vars=0), "", require_empty=False)
+
+    def test_empty_formula_rejects_any_lemma(self):
+        # With no clauses, nothing propagates, so no addition can be RUP.
+        with pytest.raises(DratError, match="not RUP"):
+            check_drat(CNF([], num_vars=1), "1 0\n", require_empty=False)
+
+    def test_unit_only_proof(self):
+        # A refutation built purely from unit lemmas.
+        cnf = CNF([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert check_drat(cnf, "1 0\n-1 0\n0\n")
+
+    def test_unit_only_formula_bare_empty_clause(self):
+        # Contradictory units: the empty clause alone is RUP.
+        assert check_drat(CNF([[1], [-1]]), "0\n")
+
+    def test_delete_never_added_clause_then_refute(self):
+        # Deleting a clause that was never added is a tolerated no-op and
+        # must not disturb the rest of the refutation.
+        cnf = CNF([[1], [-1]])
+        assert check_drat(cnf, "d 7 -8 0\n0\n")
+
+    def test_delete_one_copy_of_duplicate_keeps_other(self):
+        # The formula holds two copies of [-1, 2]; deleting one still
+        # leaves the other available for propagation.
+        cnf = CNF([[1], [-1, 2], [-1, 2], [-2]])
+        assert check_drat(cnf, "d -1 2 0\n0\n")
+
+    def test_already_falsified_formula_accepts_any_lemma(self):
+        # Unit propagation on [[1], [-1]] conflicts immediately, so every
+        # addition (even over fresh variables) is vacuously RUP.
+        cnf = CNF([[1], [-1]], num_vars=5)
+        assert check_drat(cnf, "5 0\n-3 4 0\n0\n")
+
+    def test_proof_over_formula_with_existing_empty_clause(self):
+        # An input empty clause already certifies UNSAT; further steps
+        # are all RUP and the proof checks without deriving 0 itself.
+        cnf = CNF([[1, 2], []])
+        assert check_drat(cnf, "2 0\n")
+
+
 class TestProofLogUnit:
     def test_text_and_lines(self):
         proof = ProofLog()

@@ -1,0 +1,62 @@
+"""Replay the regression corpus through the full oracle bank.
+
+Every entry under ``tests/data/regressions/`` is a minimized DIMACS
+formula plus a JSON repro manifest — either a shrunk failure from a
+past fuzz campaign or a hand-built soundness trap.  This suite replays
+each one through every oracle: a fixed bug that resurfaces, or a trap
+that starts firing, fails here with the exact discrepancy attached.
+
+To add an entry, run a campaign with ``--shrink --corpus
+tests/data/regressions`` (or call :class:`repro.fuzz.FailureCorpus`
+directly for a hand-built case) and commit both files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FailureCorpus, load_entry, replay_entry
+from repro.fuzz.shrink import CORPUS_FORMAT_VERSION
+
+CORPUS_DIR = Path(__file__).parent / "data" / "regressions"
+
+ENTRIES = FailureCorpus(CORPUS_DIR).entries()
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"regression corpus missing or empty: {CORPUS_DIR}"
+
+
+def test_every_formula_has_a_manifest_and_vice_versa():
+    cnf_names = {p.stem for p in CORPUS_DIR.glob("*.cnf")}
+    manifest_names = {p.stem for p in ENTRIES}
+    assert cnf_names == manifest_names
+
+
+@pytest.mark.parametrize("manifest_path", ENTRIES, ids=lambda p: p.stem)
+def test_manifest_schema(manifest_path):
+    manifest = json.loads(manifest_path.read_text())
+    for field in ("schema", "name", "oracle", "kind", "budget", "replay", "detail"):
+        assert field in manifest, f"manifest missing {field!r}"
+    assert manifest["schema"] == CORPUS_FORMAT_VERSION
+    assert manifest["name"] == manifest_path.stem
+    assert "--replay" in manifest["replay"]
+
+
+@pytest.mark.parametrize("manifest_path", ENTRIES, ids=lambda p: p.stem)
+def test_entry_loads_and_matches_manifest(manifest_path):
+    manifest, cnf = load_entry(manifest_path)
+    assert cnf.num_clauses == manifest["clauses"]
+    assert cnf.num_vars == manifest["variables"]
+
+
+@pytest.mark.parametrize("manifest_path", ENTRIES, ids=lambda p: p.stem)
+def test_replay_is_clean(manifest_path):
+    """The core contract: no corpus entry may trip any oracle today."""
+    found = replay_entry(manifest_path)
+    assert found == [], "regression resurfaced:\n" + "\n".join(
+        f"  {d.summary()}" for d in found
+    )
