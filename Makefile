@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report trace-report quick-bench fuzz-smoke examples clean
+.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,17 @@ bench:
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Rewrite BENCH_bcp.json with the full three-way (legacy/object/arena)
+# BCP comparison.  Run on a quiet machine; the committed aggregate is
+# the baseline the CI smoke job guards against.
+bench-bcp:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_bcp_micro.py
+
+# Fast arena-path check against the committed baseline (the CI gate):
+# fails if the arena-vs-object speedup ratio regresses >10%.
+bench-bcp-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_bcp_micro.py --smoke --check-regression
 
 # Smaller, faster benchmark settings for smoke runs.
 quick-bench:

@@ -1,9 +1,17 @@
-"""BCP micro-benchmark: optimized hot path vs the pre-overhaul engine.
+"""BCP micro-benchmark: three-way engine comparison on the hot path.
 
-Measures raw unit-propagation throughput (props/sec) of the current
-blocking-literal / binary-specialized propagator against a faithful
-in-file copy of the seed engine (plain two-watched-literal lists, no
-blocking literals, no binary specialization), on fixed-seed workloads:
+Measures raw unit-propagation throughput (props/sec) of three engines:
+
+* ``legacy`` — a faithful in-file copy of the seed engine (plain
+  two-watched-literal lists, no blocking literals, no binary
+  specialization);
+* ``new``    — the object-core propagator (blocking literals, binary
+  watch tables, ``SolverClause`` objects);
+* ``arena``  — the flat int32 arena core (contiguous clause buffer,
+  watcher-only binaries, fully-watched ternaries, offset-addressed
+  long clauses).
+
+All engines run on fixed-seed workloads:
 
 * ``3sat``    — uniform random 3-SAT at the phase transition;
 * ``mixed``   — 55% binary clauses, the shape of a learned-clause
@@ -22,8 +30,14 @@ the ParallelRunner (workers=4 vs 1) on a 20-instance dataset.
 Results land in ``BENCH_bcp.json`` at the repo root (before/after
 props/sec per workload, aggregate speedup, labeling wall-clock).
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks every size and skips the
-timing assertions so CI can exercise the code path in seconds.
+Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks every size
+and skips the timing assertions so CI can exercise the code path in
+seconds; smoke results land in ``BENCH_bcp_smoke.json`` so the
+committed full-run baseline is never clobbered.  ``--check-regression``
+additionally compares the measured arena-vs-object speedup ratio
+against the committed ``BENCH_bcp.json`` and fails on a >10%
+regression (a ratio of same-run measurements, so absolute machine
+speed cancels out).
 
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_bcp_micro.py``
 or via pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_bcp_micro.py``.
@@ -43,6 +57,12 @@ from repro.cnf.formula import CNF
 from repro.cnf.generators import random_ksat
 from repro.parallel import ParallelRunner
 from repro.selection.labeling import label_instances
+from repro.solver.arena import (
+    ArenaPropagator,
+    ArenaTrail,
+    ArenaWatchLists,
+    ClauseArena,
+)
 from repro.solver.assignment import Trail
 from repro.solver.clause_db import SolverClause
 from repro.solver.propagate import Propagator
@@ -53,6 +73,7 @@ from repro.solver.watchers import WatchLists
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_bcp.json"
+SMOKE_RESULT_PATH = REPO_ROOT / "BENCH_bcp_smoke.json"
 
 # Replay passes per workload; smoke mode only proves the path runs.
 PASSES = 4 if SMOKE else 60
@@ -246,6 +267,16 @@ def build_engine(engine: str, cnf: CNF):
         trail = LegacyTrail(n)
         watches = LegacyWatchLists(n)
         prop = LegacyPropagator(trail, watches, stats)
+    elif engine == "arena":
+        arena = ClauseArena()
+        trail = ArenaTrail(n, arena)
+        watches = ArenaWatchLists(n, arena)
+        prop = ArenaPropagator(trail, watches, stats)
+        for clause in cnf.clauses:
+            lits = [encode(lit) for lit in clause.literals]
+            if len(lits) >= 2:
+                watches.attach(arena.add_original(lits))
+        return trail, prop, stats
     else:
         trail = Trail(n)
         watches = WatchLists(n)
@@ -264,6 +295,17 @@ def replay(engine: str, cnf: CNF, seed: int, passes: int):
     still-unassigned variable as a decision and propagating; a conflict
     resets to level 0.  Deterministic, allocation-stable, and BCP
     dominates the profile (~85% of runtime).
+
+    Only propagations from *completed* (conflict-free) waves are
+    counted.  Unit propagation is confluent, so a completed wave from a
+    given partial assignment implies the same set of literals in every
+    engine — making the count exactly engine-invariant (a strong
+    differential oracle).  A conflicting wave stops wherever that
+    engine's visit order happens to detect the conflict (e.g. the
+    arena's fully-watched ternary table sees conflicts earlier than a
+    relocating two-watch scheme), so its partial count is
+    engine-dependent noise; the work is still *timed*, just not
+    counted.
     """
     trail, prop, stats = build_engine(engine, cnf)
     rng = random.Random(seed)
@@ -274,23 +316,36 @@ def replay(engine: str, cnf: CNF, seed: int, passes: int):
     rng.shuffle(order)
     gc_was_enabled = gc.isenabled()
     gc.disable()
+    counted = 0
     # CPU time, not wall time: the replay is single-threaded pure
     # compute, and process_time is immune to VM steal / descheduling,
     # which otherwise dominates the noise on shared runners.
+    # The already-assigned filter reads the truth array each engine
+    # actually maintains: the legacy trail only has the per-variable
+    # ``values`` array, the object and arena trails share ``lit_values``.
+    legacy_values = trail.values if engine == "legacy" else None
+    lit_values = None if engine == "legacy" else trail.lit_values
     start = time.process_time()
     for _ in range(passes):
         for lit in order:
-            if trail.values[lit >> 1] != UNASSIGNED:
+            if (
+                legacy_values[lit >> 1]
+                if lit_values is None
+                else lit_values[lit]
+            ) != UNASSIGNED:
                 continue
             trail.new_decision_level()
             trail.assign(lit, None)
+            before = stats.propagations
             if prop.propagate() is not None:
                 trail.backtrack(0)
+            else:
+                counted += stats.propagations - before
         trail.backtrack(0)
     elapsed = time.process_time() - start
     if gc_was_enabled:
         gc.enable()
-    return stats.propagations, elapsed
+    return counted, elapsed
 
 
 def run_bcp_comparison():
@@ -301,14 +356,15 @@ def run_bcp_comparison():
     which on a busy single-core box easily exceeds the effect size.
     """
     repeats = 1 if SMOKE else 3
+    engines = ("legacy", "new", "arena")
     per_workload = {}
-    totals = {"legacy": [0, 0.0], "new": [0, 0.0]}
+    totals = {engine: [0, 0.0] for engine in engines}
     for name, cnf in workloads():
         # Interleave the engines across repeats so slow phases of the
-        # host (frequency scaling, steal time) hit both evenly.
+        # host (frequency scaling, steal time) hit all of them evenly.
         best = {}
         for _ in range(repeats):
-            for engine in ("legacy", "new"):
+            for engine in engines:
                 props, seconds = replay(engine, cnf, seed=99, passes=PASSES)
                 if engine not in best:
                     best[engine] = (props, seconds)
@@ -316,7 +372,7 @@ def run_bcp_comparison():
                     assert best[engine][0] == props  # deterministic replay
                     best[engine] = (props, min(best[engine][1], seconds))
         entry = {}
-        for engine in ("legacy", "new"):
+        for engine in engines:
             props, seconds = best[engine]
             entry[engine] = {
                 "propagations": props,
@@ -325,25 +381,39 @@ def run_bcp_comparison():
             }
             totals[engine][0] += props
             totals[engine][1] += seconds
-        # Same decision replay => near-identical logical work.  Counts
-        # are not bit-identical: on a conflicting pass each engine stops
-        # at the point *its* visit order detects the conflict, so a few
-        # propagations near conflicts differ.  Anything beyond a few
-        # percent would mean the harness is comparing different work.
+        # Same decision replay + confluent unit propagation => counting
+        # only completed waves (see replay()) makes the propagation
+        # counts *exactly* engine-invariant.  Any difference means an
+        # engine implied a different assignment set — a propagation bug,
+        # not noise — so this is a hard differential oracle (and far
+        # inside the tentpole's ±0.5% acceptance bound).
         legacy_props = entry["legacy"]["propagations"]
         new_props = entry["new"]["propagations"]
-        assert abs(legacy_props - new_props) <= 0.05 * legacy_props, (
-            name, legacy_props, new_props,
+        arena_props = entry["arena"]["propagations"]
+        assert legacy_props == new_props == arena_props, (
+            name, legacy_props, new_props, arena_props,
         )
-        entry["speedup"] = round(
-            entry["new"]["props_per_sec"] / entry["legacy"]["props_per_sec"], 3
-        )
+        # With counts pinned equal, a props/sec ratio is exactly a
+        # seconds ratio — and the latter stays defined for smoke-sized
+        # workloads where every wave conflicts (zero counted props).
+        legacy_sec = best["legacy"][1]
+        new_sec = best["new"][1]
+        arena_sec = best["arena"][1]
+        entry["speedup"] = round(legacy_sec / new_sec, 3)
+        entry["speedup_arena_vs_new"] = round(new_sec / arena_sec, 3)
+        entry["speedup_arena_vs_legacy"] = round(legacy_sec / arena_sec, 3)
         per_workload[name] = entry
     aggregate = {
         engine: round(props / seconds, 1)
         for engine, (props, seconds) in totals.items()
     }
-    aggregate["speedup"] = round(aggregate["new"] / aggregate["legacy"], 3)
+    aggregate["speedup"] = round(totals["legacy"][1] / totals["new"][1], 3)
+    aggregate["speedup_arena_vs_new"] = round(
+        totals["new"][1] / totals["arena"][1], 3
+    )
+    aggregate["speedup_arena_vs_legacy"] = round(
+        totals["legacy"][1] / totals["arena"][1], 3
+    )
     return {"workloads": per_workload, "aggregate": aggregate}
 
 
@@ -399,7 +469,10 @@ def run_all():
         "bcp": bcp,
         "labeling": labeling,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # Smoke runs must not clobber the committed full-run baseline the
+    # regression gate compares against.
+    path = SMOKE_RESULT_PATH if SMOKE else RESULT_PATH
+    path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
 
@@ -409,23 +482,86 @@ def test_bcp_micro():
     bcp = payload["bcp"]
     labeling = payload["labeling"]
     for name, entry in bcp["workloads"].items():
-        assert entry["legacy"]["propagations"] > 0, name
+        assert entry["legacy"]["seconds"] > 0, name
+        assert (
+            entry["legacy"]["propagations"]
+            == entry["new"]["propagations"]
+            == entry["arena"]["propagations"]
+        ), name
     assert labeling["warm_executed"] == 0
     assert labeling["warm_cache_hits"] == 2 * labeling["instances"]
     if not SMOKE:
         assert bcp["aggregate"]["speedup"] >= 1.5, bcp["aggregate"]
+        # The tentpole "2x over the seed engine" target, plus a floor on
+        # the arena's margin over the object core.  Pure CPython boxes
+        # every int, so the contiguous layout cannot translate fully
+        # into cache wins the way it would compiled (see DESIGN.md);
+        # the measured arena-vs-object aggregate is ~1.5x, asserted
+        # here with headroom for scheduler noise.
+        assert bcp["aggregate"]["speedup_arena_vs_legacy"] >= 2.0, bcp["aggregate"]
+        assert bcp["aggregate"]["speedup_arena_vs_new"] >= 1.25, bcp["aggregate"]
         if (os.cpu_count() or 1) >= 2:
             # Process fan-out can't beat serial on a single core.
             assert labeling["parallel_speedup"] > 1.0, labeling
 
 
-def main():
+def check_regression(payload: dict, baseline: dict) -> List[str]:
+    """Compare the run against a committed baseline; return failures.
+
+    The guarded quantity is the *ratio* of arena to object-core
+    throughput measured within the same process — absolute props/sec
+    depends on the host, but the ratio is portable.  A measured ratio
+    more than 10% below the committed aggregate ratio fails.
+    """
+    committed = baseline["bcp"]["aggregate"]["speedup_arena_vs_new"]
+    measured = payload["bcp"]["aggregate"]["speedup_arena_vs_new"]
+    failures = []
+    if measured < 0.9 * committed:
+        failures.append(
+            f"arena-vs-object aggregate speedup regressed: measured "
+            f"{measured}x vs committed {committed}x (>10% below)"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    global SMOKE, PASSES, LABEL_INSTANCES, LABEL_VARS, LABEL_CONFLICTS
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink sizes and skip timing assertions (same as "
+        "REPRO_BENCH_SMOKE=1)",
+    )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="fail (exit 1) if the arena-vs-object speedup ratio drops "
+        ">10%% below the committed BENCH_bcp.json aggregate",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke and not SMOKE:
+        SMOKE = True
+        PASSES = 4
+        LABEL_INSTANCES, LABEL_VARS, LABEL_CONFLICTS = 4, 30, 300
+
+    # The baseline must be read before run_all() rewrites the file.
+    baseline = None
+    if args.check_regression:
+        baseline = json.loads(RESULT_PATH.read_text())
+
     payload = run_all()
     print(json.dumps(payload, indent=2))
     agg = payload["bcp"]["aggregate"]
     print(
-        f"\naggregate BCP: {agg['legacy']:,.0f} -> {agg['new']:,.0f} props/s "
-        f"({agg['speedup']}x)"
+        f"\naggregate BCP: legacy {agg['legacy']:,.0f} -> object "
+        f"{agg['new']:,.0f} ({agg['speedup']}x) -> arena "
+        f"{agg['arena']:,.0f} props/s "
+        f"({agg['speedup_arena_vs_new']}x object, "
+        f"{agg['speedup_arena_vs_legacy']}x legacy)"
     )
     lab = payload["labeling"]
     print(
@@ -433,7 +569,18 @@ def main():
         f"4 workers {lab['workers4_seconds']}s ({lab['parallel_speedup']}x), "
         f"warm cache {lab['warm_seconds']}s"
     )
+    if baseline is not None:
+        failures = check_regression(payload, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(
+            f"regression check ok: {agg['speedup_arena_vs_new']}x vs "
+            f"committed {baseline['bcp']['aggregate']['speedup_arena_vs_new']}x"
+        )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

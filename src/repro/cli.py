@@ -41,7 +41,7 @@ from repro.cnf import (
     write_dimacs_file,
 )
 from repro.policies import get_policy, policy_names
-from repro.solver import ProofLog, Solver, Status
+from repro.solver import SOLVER_CORES, ProofLog, Solver, SolverConfig, Status
 
 
 def _add_obs_args(p) -> None:
@@ -94,6 +94,8 @@ def _add_solve(subparsers) -> None:
     p.add_argument("--assume", type=int, nargs="*", default=[])
     p.add_argument("--preprocess", action="store_true",
                    help="run the simplification pipeline first")
+    p.add_argument("--solver-core", default="arena", choices=SOLVER_CORES,
+                   help="engine representation (default: arena)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_solve)
 
@@ -102,11 +104,13 @@ def cmd_solve(args) -> int:
     """Handle ``repro solve``: solve a DIMACS file, print s/v lines."""
     cnf = parse_dimacs_file(args.file)
     obs = _observer_from_args(args, "solve", policy=args.policy)
+    config = SolverConfig(core=args.solver_core)
     if args.preprocess:
         from repro.simplify import solve_with_preprocessing
 
         result = solve_with_preprocessing(
             cnf,
+            config=config,
             max_conflicts=args.max_conflicts,
             max_propagations=args.max_propagations,
             observer=obs,
@@ -114,7 +118,8 @@ def cmd_solve(args) -> int:
     else:
         proof = ProofLog(args.proof) if args.proof else None
         solver = Solver(
-            cnf, policy=get_policy(args.policy), proof=proof, observer=obs
+            cnf, policy=get_policy(args.policy), proof=proof, observer=obs,
+            config=config,
         )
         result = solver.solve(
             assumptions=args.assume,
@@ -482,6 +487,9 @@ def _add_fuzz(subparsers) -> None:
                    help="wall-clock seconds per solve attempt (supervised)")
     p.add_argument("--cache-dir",
                    help="on-disk result cache for the solve fan-out")
+    p.add_argument("--solver-core", default="arena", choices=SOLVER_CORES,
+                   help="engine representation for subject solves "
+                        "(default: arena)")
     p.add_argument("--replay", nargs="+", metavar="MANIFEST",
                    help="replay corpus entries (.json manifests) through "
                         "the full oracle bank instead of running a campaign")
@@ -521,6 +529,7 @@ def cmd_fuzz(args) -> int:
         corpus_dir=args.corpus if args.shrink else None,
         task_timeout=args.task_timeout,
         cache_dir=args.cache_dir,
+        solver_core=args.solver_core,
     )
     report = run_campaign(config, observer=obs)
     print(render_report(report))

@@ -45,7 +45,7 @@ from repro.policies.registry import get_policy
 from repro.solver.drat import DratError, check_drat
 from repro.solver.proof import ProofLog
 from repro.solver.reference import brute_force_status, dpll_solve
-from repro.solver.solver import Solver
+from repro.solver.solver import Solver, SolverConfig
 from repro.solver.types import Model, Status
 
 #: Default per-solve conflict budget (deterministic, unlike wall clock).
@@ -73,6 +73,31 @@ def default_solve_fn(
         max_conflicts=max_conflicts
     )
     return result.status, result.model
+
+
+def make_solve_fn(core: str) -> SolveFn:
+    """A :data:`SolveFn` pinned to one solver core (``object``/``arena``).
+
+    Campaigns use this to fuzz a specific core; the returned callable
+    has the exact subject-solver signature, so shrink predicates and
+    corpus replays reproduce the same configuration.
+    """
+
+    def solve_fn(
+        cnf: CNF,
+        policy: str = "default",
+        max_conflicts: int = DEFAULT_BUDGET,
+        proof: Optional[ProofLog] = None,
+    ) -> Tuple[Status, Optional[Model]]:
+        result = Solver(
+            cnf,
+            policy=get_policy(policy),
+            proof=proof,
+            config=SolverConfig(core=core),
+        ).solve(max_conflicts=max_conflicts)
+        return result.status, result.model
+
+    return solve_fn
 
 
 @dataclass(frozen=True)
@@ -140,6 +165,24 @@ class OracleContext:
         key = (formula_key(cnf), policy)
         if key not in self._memo:
             self._memo[key] = self.solve_fn(cnf, policy, self.budget, None)
+            self.solves += 1
+        return self._memo[key]
+
+    def solve_core(self, cnf: CNF, core: str) -> Tuple[Status, Optional[Model]]:
+        """Memoized solve pinned to one solver core (default policy).
+
+        Bypasses ``solve_fn`` deliberately: the core-agreement check
+        compares the two real engines against each other, independent of
+        whatever subject (possibly a fault-injected wrapper) the rest of
+        the bank is exercising.  Memo keys are namespaced (``core:``) so
+        they never collide with per-policy subject results.
+        """
+        key = (formula_key(cnf), f"core:{core}")
+        if key not in self._memo:
+            result = Solver(cnf, config=SolverConfig(core=core)).solve(
+                max_conflicts=self.budget
+            )
+            self._memo[key] = (result.status, result.model)
             self.solves += 1
         return self._memo[key]
 
@@ -230,28 +273,47 @@ class DPLLOracle(Oracle):
 
 
 class PolicyAgreementOracle(Oracle):
-    """Both clause-deletion policies must return the same verdict.
+    """Two solver configurations must return the same verdict.
 
-    Deletion changes *effort*, never *truth*: a disagreement here is the
-    exact soundness bug that silently poisons the paper's dual-policy
-    labels.  Verdicts are only compared when both runs decided within
-    budget — deletion legitimately shifts how far a budget reaches.
+    ``mode="policies"`` (the default) solves under both clause-deletion
+    policies: deletion changes *effort*, never *truth*, and a
+    disagreement here is the exact soundness bug that silently poisons
+    the paper's dual-policy labels.  ``mode="cores"`` instead solves
+    with the object core and the arena core directly — the differential
+    check that pins the flat-arena BCP engine to the reference
+    object-graph engine.  Verdicts are only compared when both runs
+    decided within budget — configuration legitimately shifts how far a
+    budget reaches.
     """
 
-    name = "policy-agreement"
+    MODES = ("policies", "cores")
+
+    def __init__(self, mode: str = "policies"):
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.mode = mode
+        self.name = "policy-agreement" if mode == "policies" else "core-agreement"
 
     def check(self, cnf: CNF, ctx: OracleContext) -> List[Discrepancy]:
-        """Solve under default + frequency policies and compare verdicts."""
-        default_status, _ = ctx.solve(cnf, "default")
-        frequency_status, _ = ctx.solve(cnf, "frequency")
-        if not (default_status.decided and frequency_status.decided):
+        """Solve both configurations and compare decided verdicts."""
+        if self.mode == "policies":
+            left_name, right_name = "default", "frequency"
+            left, _ = ctx.solve(cnf, "default")
+            right, _ = ctx.solve(cnf, "frequency")
+            detail = "deletion policies disagree on satisfiability"
+        else:
+            left_name, right_name = "object", "arena"
+            left, _ = ctx.solve_core(cnf, "object")
+            right, _ = ctx.solve_core(cnf, "arena")
+            detail = "solver cores disagree on satisfiability"
+        if not (left.decided and right.decided):
             return []
-        if default_status is not frequency_status:
+        if left is not right:
             return [self._mismatch(
                 ctx, "status-mismatch",
-                f"default={default_status.value}",
-                f"frequency={frequency_status.value}",
-                "deletion policies disagree on satisfiability",
+                f"{left_name}={left.value}",
+                f"{right_name}={right.value}",
+                detail,
             )]
         return []
 
@@ -387,6 +449,7 @@ def default_oracles(mutants: int = 2, mutation_seed: int = 0) -> List[Oracle]:
         BruteForceOracle(),
         DPLLOracle(),
         PolicyAgreementOracle(),
+        PolicyAgreementOracle(mode="cores"),
         MetamorphicOracle(mutants=mutants, seed=mutation_seed),
         PreprocessingOracle(),
         DratOracle(),

@@ -16,12 +16,20 @@ from repro.solver.assignment import Trail
 from repro.solver.watchers import WatchLists
 from repro.solver.propagate import Propagator
 from repro.solver.analyze import ConflictAnalyzer
+from repro.solver.arena import (
+    ArenaClauseView,
+    ArenaConflictAnalyzer,
+    ArenaPropagator,
+    ArenaTrail,
+    ArenaWatchLists,
+    ClauseArena,
+)
 from repro.solver.decide import Decider
 from repro.solver.vmtf import VMTFDecider
 from repro.solver.restart import LubyRestarts, EMARestarts, luby
-from repro.solver.reduce import ReduceScheduler
+from repro.solver.reduce import ArenaReduceScheduler, ReduceScheduler
 from repro.solver.proof import ProofLog
-from repro.solver.solver import Solver, SolverConfig, SolveResult, solve
+from repro.solver.solver import SOLVER_CORES, Solver, SolverConfig, SolveResult, solve
 from repro.solver.reference import brute_force_status, dpll_solve
 from repro.solver.drat import check_drat, trim_proof, DratError
 from repro.solver.walksat import WalkSAT, WalkSATResult, walksat_phases
@@ -40,6 +48,13 @@ __all__ = [
     "WatchLists",
     "Propagator",
     "ConflictAnalyzer",
+    "ClauseArena",
+    "ArenaClauseView",
+    "ArenaTrail",
+    "ArenaWatchLists",
+    "ArenaPropagator",
+    "ArenaConflictAnalyzer",
+    "ArenaReduceScheduler",
     "Decider",
     "VMTFDecider",
     "LubyRestarts",
@@ -48,6 +63,7 @@ __all__ = [
     "ReduceScheduler",
     "ProofLog",
     "Solver",
+    "SOLVER_CORES",
     "SolverConfig",
     "SolveResult",
     "solve",

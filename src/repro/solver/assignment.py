@@ -101,6 +101,17 @@ class Trail:
                 out[var] = False
         return out
 
+    def reason_literals(self, var: int) -> List[int]:
+        """Literals of the clause that implied ``var`` (any order).
+
+        Core-agnostic accessor: callers that only need the reason's
+        literal set (e.g. failed-assumption analysis) use this instead
+        of dereferencing the reason representation, which differs
+        between the object core (clause objects) and the arena core
+        (clause ids / encoded binary reasons).
+        """
+        return self.reasons[var].lits
+
     def is_reason(self, clause: SolverClause) -> bool:
         """True when ``clause`` currently implies some assigned variable."""
         if not clause.lits:

@@ -69,7 +69,20 @@ class ClauseDatabase:
     # -- activity ----------------------------------------------------------
 
     def bump_clause(self, clause: SolverClause) -> None:
-        """Increase a clause's activity; rescale all on overflow."""
+        """Increase a learned clause's activity; rescale all on overflow.
+
+        Invariant: only *learned* clauses are ever bumped.  Conflict
+        analysis checks ``reason.learned`` before calling, and the
+        overflow rescale below walks only ``self.learned`` — bumping an
+        original clause would silently exempt its activity from
+        rescaling, corrupting the relative ordering policies score on.
+        The guard makes that contract explicit instead of latent.
+        """
+        if not clause.learned:
+            raise ValueError(
+                "bump_clause on an original clause: only learned clauses "
+                "carry activity (the overflow rescale covers learned only)"
+            )
         clause.activity += self.clause_inc
         clause.used = True
         if clause.activity > 1e20:

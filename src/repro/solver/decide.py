@@ -116,15 +116,17 @@ class Decider:
         popped carries its maximal recorded activity — stale duplicates
         sort strictly later and are simply skipped when re-encountered.
         """
-        values = self.trail.values
+        # lit_values[var << 1] mirrors the per-variable value and is
+        # the one truth array both solver cores maintain.
+        lit_values = self.trail.lit_values
         heap = self._heap
         while heap:
             _, var = heapq.heappop(heap)
-            if values[var] == -1:  # UNASSIGNED == -1
+            if lit_values[var << 1] == -1:  # UNASSIGNED == -1
                 return var
         # Heap exhausted (all entries consumed): rebuild from scratch.
         for var in range(1, self.trail.num_vars + 1):
-            if values[var] == -1:
+            if lit_values[var << 1] == -1:
                 heapq.heappush(heap, (-self.activity[var], var))
                 return var
         return None

@@ -118,3 +118,75 @@ class ReduceScheduler:
         # Eq. (2) counts propagations "since the last clause deletion".
         self.propagator.reset_frequencies()
         return deleted, len(candidates)
+
+
+class ArenaReduceScheduler(ReduceScheduler):
+    """Reduction over the flat arena core (clause ids, not objects).
+
+    Same schedule, protections, policy scoring, and statistics as
+    :class:`ReduceScheduler`; the deletion mechanics differ:
+
+    * policies score :class:`~repro.solver.arena.ArenaClauseView`
+      proxies, so policy-written state (e.g. the Eq. (2) frequency
+      cache) lands in the arena's metadata arrays;
+    * instead of a lazy sweep, deletion garbage-collects the arena:
+      watchers detach, the arena compacts, and long-watcher offsets are
+      relocated with the compaction map;
+    * the literals of deleted clauses are captured (in clause-id order)
+      in :attr:`last_deleted` *before* compaction invalidates their
+      offsets, so the solver can mirror deletions into a DRAT proof.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Literal lists of the clauses deleted by the last round.
+        self.last_deleted: List[List[int]] = []
+
+    def _reduce(self) -> "tuple[int, int]":
+        self._rounds += 1
+        self._limit = self.stats.conflicts + self.interval + (
+            self.interval_growth * self._rounds
+        )
+        self.stats.reductions += 1
+
+        arena = self.clause_db
+        frequency = self.propagator.frequency
+        max_frequency = self.propagator.max_frequency()
+        self.policy.begin_round(frequency, max_frequency)
+
+        used = arena.used
+        candidates: List[int] = []
+        for cid in arena.reducible_clauses():
+            if self.trail.is_reason(cid):
+                continue
+            if self.protect_used and used[cid]:
+                used[cid] = 0  # one round of grace, then fair game
+                continue
+            candidates.append(cid)
+
+        deleted = 0
+        self.last_deleted = []
+        if candidates:
+            policy = self.policy
+            view = arena.view
+            candidates.sort(
+                key=lambda cid: policy.score(view(cid), frequency, max_frequency)
+            )
+            num_delete = int(len(candidates) * self.target_fraction)
+            doomed = candidates[:num_delete]
+            for cid in doomed:
+                arena.mark_garbage(cid)
+                deleted += 1
+            if deleted:
+                # Literals must be read out before compaction moves them;
+                # id order matches the object core's insertion order.
+                self.last_deleted = [
+                    arena.literals(cid) for cid in sorted(doomed)
+                ]
+                self.watches.detach_garbage()
+                self.watches.relocate(arena.compact())
+
+        self.stats.deleted_clauses += deleted
+        # Eq. (2) counts propagations "since the last clause deletion".
+        self.propagator.reset_frequencies()
+        return deleted, len(candidates)

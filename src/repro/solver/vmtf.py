@@ -114,9 +114,9 @@ class VMTFDecider:
             raise ValueError(f"unknown rephase style {style!r}")
 
     def pick_branch_variable(self) -> Optional[int]:
-        values = self.trail.values
+        lit_values = self.trail.lit_values
         var = self._search or self._front
-        while var and values[var] != -1:  # UNASSIGNED == -1
+        while var and lit_values[var << 1] != -1:  # UNASSIGNED == -1
             var = self._next[var]
         self._search = var
         return var or None

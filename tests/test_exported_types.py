@@ -46,7 +46,11 @@ def test_walksat_result_type():
 
 
 def test_conflict_analyzer_is_solver_component():
+    from repro.solver import ArenaConflictAnalyzer, SolverConfig
+
     solver = Solver(CNF([[1, 2], [-1, 2]]))
+    assert isinstance(solver.analyzer, ArenaConflictAnalyzer)
+    solver = Solver(CNF([[1, 2], [-1, 2]]), config=SolverConfig(core="object"))
     assert isinstance(solver.analyzer, ConflictAnalyzer)
 
 

@@ -1,9 +1,12 @@
-"""Post-solve audit of solver-internal invariants.
+"""Post-solve audit of solver-internal invariants, for both cores.
 
 After any solve, the engine's data structures must be internally
-consistent: watch lists point at the first two literals of live
-clauses, learned clauses are well-formed (distinct literals, sane glue),
-and level-0 assignments are genuine formula consequences.
+consistent: watch lists point at live clauses, learned clauses are
+well-formed (distinct literals, sane glue), and trail bookkeeping is
+coherent.  The checks are representation-specific — the object core is
+audited through its clause objects and watcher records, the arena core
+through its flat buffer, metadata arrays, and offset tables — so each
+parametrized test runs the matching auditor.
 """
 
 import pytest
@@ -11,11 +14,11 @@ import pytest
 from repro.cnf import random_ksat, pigeonhole
 from repro.policies import FrequencyPolicy
 from repro.selection.labeling import default_labeling_config
-from repro.solver import Solver, Status
+from repro.solver import Solver, SolverConfig, Status
 
 
-def audit(solver: Solver) -> None:
-    """Assert every internal invariant we can check from outside."""
+def audit_object(solver: Solver) -> None:
+    """Assert every object-core invariant we can check from outside."""
     # -- clause hygiene ---------------------------------------------------
     for clause in solver.clause_db.original + solver.clause_db.learned:
         if clause.garbage:
@@ -56,42 +59,163 @@ def audit(solver: Solver) -> None:
                 if not clause.garbage:
                     assert blocker in clause.lits, "blocker outside clause"
 
-    # -- trail sanity -------------------------------------------------------
+    audit_trail(solver)
+
+
+def audit_arena(solver: Solver) -> None:
+    """Assert every arena-core invariant we can check from outside."""
+    arena = solver.clause_db
+    data = arena.data
+    watches = solver.watches
+
+    # -- arena block structure: back-to-back [id, size, lits...] ------------
+    walked = set()
+    pos = 0
+    while pos < len(data):
+        cid = data[pos]
+        size = data[pos + 1]
+        assert 0 <= cid < len(arena.offset), "block id out of range"
+        assert arena.offset[cid] == pos + 2, "offset table disagrees with block"
+        assert size >= 2, "unit/empty clause in the arena"
+        assert not arena.garbage[cid], "garbage block survived compaction"
+        walked.add(cid)
+        pos += 2 + size
+    assert pos == len(data), "trailing bytes after the last block"
+    live = set(arena.live_ids())
+    assert walked == live, "live-id view disagrees with the arena walk"
+    for cid in range(len(arena.offset)):
+        if cid not in live:
+            assert arena.offset[cid] == -1, "garbage id kept an offset"
+
+    # -- clause hygiene -----------------------------------------------------
+    for cid in live:
+        lits = arena.literals(cid)
+        variables = [lit >> 1 for lit in lits]
+        assert len(set(lits)) == len(lits), "duplicate literals"
+        assert len(set(variables)) == len(variables), "tautological clause"
+        if arena.learned[cid]:
+            assert arena.glue[cid] >= 1
+
+    # -- watch invariant: every clause in exactly the right table -----------
+    for cid in live:
+        lits = arena.literals(cid)
+        if len(lits) == 2:
+            a, b = lits
+            assert b in watches.binary[a] and a in watches.binary[b], (
+                "binary watcher pair missing"
+            )
+        elif len(lits) == 3:
+            for lit in lits:
+                assert (
+                    watches.ternary_watch_ids(lit).count(cid) == 1
+                ), "ternary clause not watched on all three literals"
+        else:
+            watched = [
+                lit for lit in lits if cid in watches.long_watch_ids(lit)
+            ]
+            assert watched == lits[:2], (
+                "long clause must be watched on exactly its first two slots"
+            )
+
+    # -- watcher records reference live clauses with sane blockers ----------
+    for lit in range(len(watches.watches)):
+        lst = watches.watches[lit]
+        for i in range(0, len(lst), 2):
+            blocker, off = lst[i], lst[i + 1]
+            cid = data[off - 2]
+            assert cid in live, "watcher references a dead clause"
+            lits = arena.literals(cid)
+            assert lit in lits[:2], "watcher literal not in a watch slot"
+            assert blocker in lits, "blocker outside clause"
+        tlst = watches.ternary[lit]
+        for i in range(0, len(tlst), 3):
+            o1, o2, cid = tlst[i], tlst[i + 1], tlst[i + 2]
+            assert cid in live, "ternary watcher references a dead clause"
+            assert sorted(arena.literals(cid)) == sorted([lit, o1, o2]), (
+                "ternary record disagrees with the clause"
+            )
+
+    # -- reason references survive deletion/compaction ----------------------
+    for lit in solver.trail.trail:
+        var = lit >> 1
+        reason = solver.trail.reasons[var]
+        if reason is None or reason < 0:
+            continue  # decision / binary reason: nothing to dangle
+        assert reason in live, "reason clause was deleted"
+        rlits = arena.literals(reason)
+        assert lit in rlits, "implied literal missing from its reason"
+
+    # -- metadata arrays stay parallel --------------------------------------
+    n = len(arena.offset)
+    for array in (
+        arena.glue,
+        arena.activity,
+        arena.used,
+        arena.garbage,
+        arena.frequency,
+        arena.learned,
+    ):
+        assert len(array) == n, "metadata array out of sync with ids"
+
+    # -- int32 discipline ----------------------------------------------------
+    arena.as_int32()
+
+    audit_trail(solver)
+
+
+def audit_trail(solver: Solver) -> None:
     seen_vars = set()
     for lit in solver.trail.trail:
         var = lit >> 1
         assert var not in seen_vars, "variable assigned twice on the trail"
         seen_vars.add(var)
-        assert solver.trail.values[var] != -1
+        assert solver.trail.value_var(var) != -1
 
 
+AUDITS = {"object": audit_object, "arena": audit_arena}
+
+
+def audit(solver: Solver) -> None:
+    AUDITS[solver.config.core](solver)
+
+
+def core_config(core: str, **overrides) -> SolverConfig:
+    base = default_labeling_config()
+    base.core = core
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+@pytest.mark.parametrize("core", ["object", "arena"])
 @pytest.mark.parametrize("seed", range(6))
-def test_invariants_after_random_solve(seed):
+def test_invariants_after_random_solve(seed, core):
     cnf = random_ksat(60, 255, seed=seed)
-    solver = Solver(cnf, config=default_labeling_config())
+    solver = Solver(cnf, config=core_config(core))
     solver.solve(max_conflicts=2000)
     audit(solver)
 
 
-def test_invariants_after_reduction_heavy_run():
+@pytest.mark.parametrize("core", ["object", "arena"])
+def test_invariants_after_reduction_heavy_run(core):
     cnf = random_ksat(150, 645, seed=2)
-    solver = Solver(
-        cnf, policy=FrequencyPolicy(), config=default_labeling_config()
-    )
+    solver = Solver(cnf, policy=FrequencyPolicy(), config=core_config(core))
     result = solver.solve(max_conflicts=4000)
     assert result.stats.reductions > 0
     audit(solver)
 
 
-def test_invariants_after_unsat():
-    solver = Solver(pigeonhole(5))
+@pytest.mark.parametrize("core", ["object", "arena"])
+def test_invariants_after_unsat(core):
+    solver = Solver(pigeonhole(5), config=SolverConfig(core=core))
     assert solver.solve().status is Status.UNSATISFIABLE
     audit(solver)
 
 
-def test_invariants_survive_incremental_use():
+@pytest.mark.parametrize("core", ["object", "arena"])
+def test_invariants_survive_incremental_use(core):
     cnf = random_ksat(40, 160, seed=2)
-    solver = Solver(cnf)
+    solver = Solver(cnf, config=SolverConfig(core=core))
     solver.solve()
     solver.add_clause([-1, -2])
     solver.solve()
