@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke examples clean
+.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -44,6 +44,12 @@ fuzz-smoke:
 	$(PYTHON) -m repro fuzz --seeds $(FUZZ_SEEDS) --budget 2000 \
 		--workers 2 --shrink --corpus $(FUZZ_CORPUS) \
 		--trace $(FUZZ_CORPUS)/traces
+
+# Solve-service smoke: start `repro serve`, fire a concurrent burst,
+# assert answers match direct solves and the serve.batch_size metric
+# proves amortized inference.  Mirrors the CI service-smoke job.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 report:
 	$(PYTHON) -m repro.bench.reporting

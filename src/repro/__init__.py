@@ -32,6 +32,12 @@ Subpackages
 ``repro.obs``
     Observability: metrics registry, structured JSONL event traces, run
     manifests, and the ``repro report`` trace summarizer.
+``repro.fuzz``
+    Differential fuzzing: oracle bank, seeded campaigns, ddmin
+    shrinking, and the replayable failure corpus.
+``repro.serve``
+    Async solve service (``repro serve``): admission control, batched
+    policy inference, and a JSON-over-HTTP front door on localhost.
 """
 
 __version__ = "1.0.0"

@@ -17,11 +17,15 @@ Subcommands mirror the library's workflow:
   re-checks stored corpus entries)
 * ``report``     — render trace reports (``repro report out/*.jsonl``),
   or rebuild EXPERIMENTS.md from benchmark results when called bare
+* ``serve``      — long-lived solve service (JSON over HTTP, localhost):
+  admission control, batched policy inference, supervised solve fan-out
+  (see ``docs/serving.md``)
 
 Each subcommand is a thin shell over public library calls, so anything
 the CLI does is equally scriptable from Python.
 
-Observability: ``solve`` / ``dataset`` / ``train`` / ``bench`` accept
+Observability: ``solve`` / ``dataset`` / ``train`` / ``bench`` /
+``serve`` accept
 ``--trace DIR`` (default: the ``REPRO_TRACE_DIR`` environment variable)
 to write a structured JSONL event trace plus a run manifest, and
 ``--no-metrics`` to skip in-process metric collection while tracing.
@@ -616,6 +620,126 @@ def cmd_select(args) -> int:
     )
 
 
+def _add_serve(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve",
+        help="run the async solve service (JSON over HTTP on localhost)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123,
+                   help="listen port; 0 picks a free one (printed at start)")
+    p.add_argument("--weights",
+                   help="trained NeuroSelect weights (.npz); without them "
+                        "a fresh seeded model is used — untrained but "
+                        "deterministic, so batching is still exercised")
+    p.add_argument("--hidden-dim", type=int, default=32)
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="size-triggered inference flush threshold")
+    p.add_argument("--flush-window", type=float, default=0.05,
+                   help="deadline-triggered flush, seconds after the first "
+                        "queued request")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission cap on in-flight requests; beyond it "
+                        "submissions are rejected with 429")
+    p.add_argument("--default-max-conflicts", type=int, default=100_000,
+                   help="conflict budget for requests that name none")
+    p.add_argument("--max-conflicts-cap", type=int, default=1_000_000,
+                   help="hard ceiling every request budget is clamped to")
+    p.add_argument("--solver-core", default="arena", choices=SOLVER_CORES,
+                   help="engine representation (default: arena)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="solver processes per solve group")
+    p.add_argument("--task-timeout", type=float,
+                   help="per-request wall-clock budget, seconds "
+                        "(breach answers 504 TIMEOUT)")
+    p.add_argument("--memory-limit-mb", type=float,
+                   help="per-request worker memory cap "
+                        "(breach answers 507 MEMOUT)")
+    p.add_argument("--cache-dir",
+                   help="on-disk result cache shared across requests")
+    p.add_argument("--journal",
+                   help="append-only journal; a restarted service answers "
+                        "already-solved requests from it without re-solving")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_serve)
+
+
+def cmd_serve(args) -> int:
+    """Handle ``repro serve``: run the solve service until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.models import NeuroSelect
+    from repro.serve import ServeConfig, SolveService
+    from repro.serve.http import bound_address, start_service
+
+    obs = _observer_from_args(args, "serve")
+    model = NeuroSelect(hidden_dim=args.hidden_dim, seed=0)
+    if args.weights:
+        from repro.nn import load_module
+
+        load_module(model, args.weights)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        flush_window=args.flush_window,
+        max_queue_depth=args.max_queue,
+        default_max_conflicts=args.default_max_conflicts,
+        max_conflicts_cap=args.max_conflicts_cap,
+        solver_core=args.solver_core,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        memory_limit_mb=args.memory_limit_mb,
+        cache_dir=args.cache_dir,
+        journal=args.journal,
+    )
+
+    async def _serve() -> None:
+        service = SolveService(model, config, observer=obs)
+        server, _ = await start_service(
+            service, args.host, args.port, observer=obs
+        )
+        host, port = bound_address(server)
+        obs.event(
+            "serve-start",
+            host=host,
+            port=port,
+            max_batch=config.max_batch,
+            flush_window=config.flush_window,
+            max_queue_depth=config.max_queue_depth,
+            solver_core=config.solver_core,
+            workers=config.workers,
+            weights=bool(args.weights),
+        )
+        print(f"c serve listening on http://{host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("c serve draining", flush=True)
+        server.close()
+        await server.wait_closed()
+        await service.stop(drain=True)
+        # One more turn of the loop so held `wait=true` responses land
+        # on their (still-open) connections before the loop shuts down.
+        await asyncio.sleep(0.1)
+        stats = service.stats()
+        print(
+            f"c serve stopped: {stats['requests']} requests, "
+            f"{stats['responses']} responses, "
+            f"{stats['rejected']} rejected, "
+            f"{stats['inference_passes']} inference passes",
+            flush=True,
+        )
+
+    asyncio.run(_serve())
+    _finish_observer(obs, 0)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -636,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench(subparsers)
     _add_fuzz(subparsers)
     _add_report(subparsers)
+    _add_serve(subparsers)
     return parser
 
 

@@ -16,7 +16,11 @@
   propagation delta when exactly two policies appear (the Table 3
   shape);
 * **metric histograms** — registry snapshots embedded in ``run-end``
-  (BCP batch sizes, learned-clause glue, span durations).
+  (BCP batch sizes, learned-clause glue, span durations);
+* **service summary** — for ``repro serve`` traces: inference
+  batch-size histogram with flush-trigger counts (the amortization
+  evidence: forward passes vs requests), admission tallies, queue-wait
+  and request-wall percentiles, and response status counts.
 
 Everything works from the files alone — no live process, no pickle —
 so traces from remote sweeps can be analysed anywhere.
@@ -56,6 +60,14 @@ def summarize_traces(
     by_policy: Dict[str, Dict[str, float]] = {}
     metrics_by_run: Dict[str, Dict[str, Any]] = {}
     solves: List[Dict[str, Any]] = []
+    serve_admitted = 0
+    serve_rejected = 0
+    serve_batches: List[int] = []
+    serve_triggers: Dict[str, int] = {}
+    serve_inference_seconds = 0.0
+    serve_waits: List[float] = []
+    serve_walls: List[float] = []
+    serve_statuses: Dict[str, int] = {}
 
     for path in paths:
         events, file_errors = read_trace(path)
@@ -109,6 +121,25 @@ def summarize_traces(
                     agg["propagations"] += int(record.get("propagations", 0))
                     agg["conflicts"] += int(record.get("conflicts", 0))
                     agg["wall_seconds"] += float(record.get("wall_seconds", 0.0))
+            elif kind == "serve-request":
+                if record.get("admitted"):
+                    serve_admitted += 1
+                else:
+                    serve_rejected += 1
+            elif kind == "serve-batch":
+                serve_batches.append(int(record.get("size", 0)))
+                trigger = str(record.get("trigger", "?"))
+                serve_triggers[trigger] = serve_triggers.get(trigger, 0) + 1
+                serve_inference_seconds += float(
+                    record.get("inference_seconds", 0.0)
+                )
+            elif kind == "serve-response":
+                status = str(record.get("status", ""))
+                serve_statuses[status] = serve_statuses.get(status, 0) + 1
+                if "queue_wait_seconds" in record:
+                    serve_waits.append(float(record["queue_wait_seconds"]))
+                if "wall_seconds" in record:
+                    serve_walls.append(float(record["wall_seconds"]))
             elif kind == "solve-end":
                 solves.append({
                     "status": record.get("status", ""),
@@ -138,6 +169,39 @@ def summarize_traces(
             "p99": round(_percentile(task_wall, 0.99), 6),
             "max": round(task_wall[-1], 6),
         }
+    service: Dict[str, Any] = {}
+    if serve_batches or serve_admitted or serve_rejected:
+        sizes: Dict[int, int] = {}
+        for size in serve_batches:
+            sizes[size] = sizes.get(size, 0) + 1
+        serve_waits.sort()
+        serve_walls.sort()
+        service = {
+            "admitted": serve_admitted,
+            "rejected": serve_rejected,
+            "responses": sum(serve_statuses.values()),
+            "statuses": dict(sorted(serve_statuses.items())),
+            "inference_passes": len(serve_batches),
+            "batched_requests": sum(serve_batches),
+            "batch_sizes": dict(sorted(sizes.items())),
+            "max_batch": max(serve_batches) if serve_batches else 0,
+            "triggers": dict(sorted(serve_triggers.items())),
+            "inference_seconds": round(serve_inference_seconds, 6),
+        }
+        if serve_waits:
+            service["queue_wait"] = {
+                "p50": round(_percentile(serve_waits, 0.50), 6),
+                "p90": round(_percentile(serve_waits, 0.90), 6),
+                "p99": round(_percentile(serve_waits, 0.99), 6),
+                "max": round(serve_waits[-1], 6),
+            }
+        if serve_walls:
+            service["request_wall"] = {
+                "p50": round(_percentile(serve_walls, 0.50), 6),
+                "p90": round(_percentile(serve_walls, 0.90), 6),
+                "p99": round(_percentile(serve_walls, 0.99), 6),
+                "max": round(serve_walls[-1], 6),
+            }
     return {
         "files": [str(p) for p in paths],
         "runs": runs,
@@ -154,6 +218,7 @@ def summarize_traces(
         "by_policy": by_policy,
         "metrics_by_run": metrics_by_run,
         "solves": solves,
+        "service": service,
     }
 
 
@@ -262,6 +327,53 @@ def render_report(summary: Dict[str, Any]) -> str:
                 out.append(
                     f"  {name_b} vs {name_a}: {100 * delta:+.2f}% propagations"
                 )
+
+    service = summary.get("service") or {}
+    if service:
+        out.append("")
+        out.append("service summary:")
+        out.append(
+            f"  admitted={service['admitted']} "
+            f"rejected={service['rejected']} "
+            f"responses={service['responses']}"
+        )
+        passes = service["inference_passes"]
+        batched = service["batched_requests"]
+        out.append(
+            f"  inference: {passes} forward pass(es) over {batched} "
+            f"request(s) "
+            f"({service['inference_seconds']:.4f}s model time)"
+        )
+        if service["batch_sizes"]:
+            out.append("  batch-size histogram:")
+            peak = max(service["batch_sizes"].values()) or 1
+            for size, count in service["batch_sizes"].items():
+                bar = "#" * max(1, round(20 * count / peak))
+                out.append(f"    size {size:>4d} {count:8d} {bar}")
+        if service["triggers"]:
+            out.append("  flush triggers: " + "  ".join(
+                f"{name}={count}"
+                for name, count in service["triggers"].items()
+            ))
+        if service.get("queue_wait"):
+            wait = service["queue_wait"]
+            out.append(
+                f"  queue wait: p50={wait['p50']:.4f}s "
+                f"p90={wait['p90']:.4f}s p99={wait['p99']:.4f}s "
+                f"max={wait['max']:.4f}s"
+            )
+        if service.get("request_wall"):
+            wall = service["request_wall"]
+            out.append(
+                f"  request wall: p50={wall['p50']:.4f}s "
+                f"p90={wall['p90']:.4f}s p99={wall['p99']:.4f}s "
+                f"max={wall['max']:.4f}s"
+            )
+        if service["statuses"]:
+            out.append("  responses by status: " + "  ".join(
+                f"{name}={count}"
+                for name, count in service["statuses"].items()
+            ))
 
     for solve in summary["solves"]:
         out.append("")

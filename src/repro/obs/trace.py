@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 import time
 import uuid
 from pathlib import Path
@@ -53,6 +54,9 @@ EVENT_TYPES = frozenset({
     "suite-start", "suite-end",
     # differential fuzzing (repro.fuzz)
     "fuzz-start", "fuzz-case", "fuzz-discrepancy", "fuzz-shrink", "fuzz-end",
+    # solve service (repro.serve)
+    "serve-start", "serve-request", "serve-batch", "serve-response",
+    "serve-stop",
     # generic timing span
     "span",
 })
@@ -80,6 +84,11 @@ class TraceSink:
     flushes and releases the handle.  The sink never raises into the
     instrumented code path once open: serialization falls back to
     ``str`` for exotic values.
+
+    Emission is thread-safe: the solve service writes ``serve-*``
+    events from the event-loop thread while its runner (driven from an
+    executor thread) writes ``task-*`` events to the same sink, so the
+    buffer, sequence counter, and handle are guarded by one lock.
     """
 
     def __init__(
@@ -100,30 +109,31 @@ class TraceSink:
         self._buffer: List[str] = []
         self._handle: Optional[io.TextIOWrapper] = None
         self._closed = False
+        self._lock = threading.Lock()
 
     def emit(self, event: str, fields: Optional[Dict[str, Any]] = None) -> None:
         """Append one event line (buffered; see :meth:`flush`)."""
-        if self._closed:
-            return
-        record: Dict[str, Any] = {
-            "event": event,
-            "ts": round(time.monotonic() - self._start, 6),
-            "run_id": self.run_id,
-            "seq": self._seq,
-        }
-        if fields:
-            for key, value in fields.items():
-                if key not in record:
-                    record[key] = value
-        self._seq += 1
-        self._buffer.append(
-            json.dumps(record, separators=(",", ":"), default=str)
-        )
-        if len(self._buffer) >= self.buffer_lines:
-            self.flush()
+        with self._lock:
+            if self._closed:
+                return
+            record: Dict[str, Any] = {
+                "event": event,
+                "ts": round(time.monotonic() - self._start, 6),
+                "run_id": self.run_id,
+                "seq": self._seq,
+            }
+            if fields:
+                for key, value in fields.items():
+                    if key not in record:
+                        record[key] = value
+            self._seq += 1
+            self._buffer.append(
+                json.dumps(record, separators=(",", ":"), default=str)
+            )
+            if len(self._buffer) >= self.buffer_lines:
+                self._flush_locked()
 
-    def flush(self) -> None:
-        """Write all buffered lines to disk."""
+    def _flush_locked(self) -> None:
         if not self._buffer or self._closed:
             return
         if self._handle is None:
@@ -133,15 +143,21 @@ class TraceSink:
         self.events_written += len(self._buffer)
         self._buffer.clear()
 
+    def flush(self) -> None:
+        """Write all buffered lines to disk."""
+        with self._lock:
+            self._flush_locked()
+
     def close(self) -> None:
         """Flush and release the file handle (idempotent)."""
-        if self._closed:
-            return
-        self.flush()
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._closed = True
 
     def __enter__(self) -> "TraceSink":
         return self

@@ -1,0 +1,45 @@
+"""Async solve service: admission control, batched inference, HTTP door.
+
+``repro.serve`` turns the reproduction into a long-lived service:
+:class:`SolveService` admits CNF solve requests, coalesces their policy
+inference into batched HGT forward passes
+(:class:`InferenceBatcher`), and fans solves out through the
+supervised :class:`~repro.parallel.runner.ParallelRunner` with the
+journal providing restart survival.  :class:`~repro.serve.http.HttpFrontDoor`
+exposes it as JSON over HTTP on localhost (``repro serve``), and
+:class:`ServeClient` is the matching asyncio client.
+
+See ``docs/serving.md`` for the architecture, request lifecycle, and a
+curl-able quickstart.
+"""
+
+from repro.serve.batcher import InferenceBatcher, PolicyChoice
+from repro.serve.client import ServeClient, ServeReply
+from repro.serve.http import HttpFrontDoor, bound_address, start_service
+from repro.serve.protocol import (
+    HTTP_QUEUE_FULL,
+    STATUS_HTTP,
+    AdmissionError,
+    RequestState,
+    ServeRequest,
+    http_code_for,
+)
+from repro.serve.service import ServeConfig, SolveService
+
+__all__ = [
+    "AdmissionError",
+    "HTTP_QUEUE_FULL",
+    "HttpFrontDoor",
+    "InferenceBatcher",
+    "PolicyChoice",
+    "RequestState",
+    "STATUS_HTTP",
+    "ServeClient",
+    "ServeConfig",
+    "ServeReply",
+    "ServeRequest",
+    "SolveService",
+    "bound_address",
+    "http_code_for",
+    "start_service",
+]

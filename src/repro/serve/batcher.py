@@ -1,0 +1,278 @@
+"""Inference batcher: coalesce queued requests into one HGT forward pass.
+
+NeuroSelect's selection cost is one model inference per instance; at
+service scale that forward pass dominates the cheap formulas that make
+up most traffic.  The batcher amortizes it: requests submitted within a
+*flush window* are collected into one
+:class:`~repro.graph.batching.BatchedBipartiteGraph` and classified by a
+single :meth:`~repro.models.neuroselect.NeuroSelect.predict_proba_batch`
+call, whose segmented attention makes the batched probabilities exactly
+the per-instance ones.
+
+Flush triggers, in priority order:
+
+* **size** — the batch reached ``max_batch`` members; flush immediately
+  (latency never waits on a full batch);
+* **deadline** — ``flush_window`` seconds elapsed since the *first*
+  member of the batch was picked up; flush whatever accumulated (a lone
+  request pays at most the window, never an unbounded wait);
+* **drain** — the batcher is stopping; residual queued requests are
+  flushed in ``max_batch``-sized chunks so shutdown loses nothing.
+
+Requests whose future was cancelled (client disconnect) are dropped at
+flush time, before any graph construction or inference is spent on
+them.  Instances whose graph exceeds ``max_nodes`` skip inference and
+fall back to the default policy, exactly like
+:class:`~repro.selection.selector.NeuroSelectSolver` (the paper's
+>400k-node handling).
+
+Instrumentation: each forward pass increments
+``serve.inference_passes`` and records the number of coalesced requests
+in the ``serve.batch_size`` histogram — the amortization claim is
+``count(serve.batch_size) < serve.requests``, measured, not asserted —
+plus one ``serve-batch`` trace event per flush.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cnf.formula import CNF
+from repro.graph.batching import batch_graphs
+from repro.graph.bipartite import BipartiteGraph
+from repro.obs.metrics import BATCH_BUCKETS
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.policies.registry import LABEL_TO_POLICY
+from repro.selection.dataset import DEFAULT_MAX_NODES
+
+
+@dataclass
+class PolicyChoice:
+    """Result of one batched policy inference, for one request."""
+
+    label: int
+    policy: str
+    probability: Optional[float]
+    used_model: bool          # False: node cap (or no model) forced default
+    batch_size: int           # live requests coalesced into this flush
+    trigger: str              # "size" | "deadline" | "drain"
+    inference_seconds: float  # forward-pass cost of the whole batch
+    queue_wait_seconds: float  # submit -> flush wait for this request
+
+
+class _Pending:
+    """One queued submission: the formula and the future awaiting it."""
+
+    __slots__ = ("cnf", "future", "enqueued", "on_flush")
+
+    def __init__(
+        self,
+        cnf: CNF,
+        future: "asyncio.Future[PolicyChoice]",
+        on_flush=None,
+    ):
+        self.cnf = cnf
+        self.future = future
+        self.enqueued = time.perf_counter()
+        self.on_flush = on_flush
+
+
+_STOP = object()
+
+
+class InferenceBatcher:
+    """Size- or deadline-triggered batching of policy inference."""
+
+    def __init__(
+        self,
+        model,
+        *,
+        max_batch: int = 16,
+        flush_window: float = 0.05,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        threshold: Optional[float] = None,
+        observer: Observer = NULL_OBSERVER,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if flush_window < 0:
+            raise ValueError("flush_window must be >= 0")
+        self.model = model
+        self.max_batch = max_batch
+        self.flush_window = flush_window
+        self.max_nodes = max_nodes
+        if threshold is None:
+            threshold = getattr(model, "decision_threshold", 0.5)
+        self.threshold = threshold
+        self.observer = observer
+        #: Forward passes performed (one per non-empty eligible batch).
+        self.passes = 0
+        #: Requests that received a choice (incl. node-cap fallbacks).
+        self.served = 0
+        self._queue: "asyncio.Queue[object]" = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._passes_counter = observer.counter("serve.inference_passes")
+        self._batch_hist = observer.histogram(
+            "serve.batch_size", BATCH_BUCKETS
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the flush loop (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.create_task(self._loop())
+
+    async def stop(self) -> None:
+        """Stop the flush loop, draining anything still queued first."""
+        if self._task is None:
+            return
+        await self._queue.put(_STOP)
+        await self._task
+        self._task = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    @property
+    def queued(self) -> int:
+        """Submissions waiting for a flush (approximate, for gauges)."""
+        return self._queue.qsize()
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, cnf: CNF, on_flush=None) -> PolicyChoice:
+        """Queue one instance; resolves when its batch is flushed.
+
+        ``on_flush`` (no-arg callable) fires when the request's batch
+        begins its forward pass — the service uses it for the
+        QUEUED→INFERRING lifecycle transition.  Cancelling the awaiting
+        task drops the request from its batch — no graph is built and
+        no inference slot is spent on it.
+        """
+        if self._task is None:
+            raise RuntimeError("batcher is not running; call start() first")
+        pending = _Pending(
+            cnf, asyncio.get_running_loop().create_future(), on_flush
+        )
+        await self._queue.put(pending)
+        return await pending.future
+
+    # -- flush loop --------------------------------------------------------
+
+    async def _loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                break
+            batch: List[_Pending] = [first]
+            # The window opens when the first member is picked up; later
+            # members only ever shorten the wait, never extend it.
+            deadline = loop.time() + self.flush_window
+            stopping = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                batch.append(item)
+            trigger = "size" if len(batch) >= self.max_batch else "deadline"
+            await self._flush(batch, trigger)
+            if stopping:
+                await self._drain()
+                break
+
+    async def _drain(self) -> None:
+        """Flush submissions that raced in behind the stop sentinel."""
+        residue: List[_Pending] = []
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not _STOP:
+                residue.append(item)
+        while residue:
+            chunk, residue = (
+                residue[: self.max_batch],
+                residue[self.max_batch:],
+            )
+            await self._flush(chunk, "drain")
+
+    async def _flush(self, batch: List[_Pending], trigger: str) -> None:
+        """Classify one batch and resolve every live member's future."""
+        live = [p for p in batch if not p.future.done()]
+        if not live:
+            return
+        for pending in live:
+            if pending.on_flush is not None:
+                pending.on_flush()
+        loop = asyncio.get_running_loop()
+        flushed_at = time.perf_counter()
+        # Graph construction is numpy-heavy; keep it off the event loop.
+        graphs = await loop.run_in_executor(
+            None, lambda: [BipartiteGraph(p.cnf) for p in live]
+        )
+        eligible = (
+            [
+                i
+                for i, g in enumerate(graphs)
+                if g.num_nodes <= self.max_nodes
+            ]
+            if self.model is not None
+            else []
+        )
+        inference_seconds = 0.0
+        probabilities: dict = {}
+        if eligible:
+            member_graphs = [graphs[i] for i in eligible]
+
+            def _forward() -> List[float]:
+                return self.model.predict_proba_batch(
+                    batch_graphs(member_graphs)
+                )
+
+            start = time.perf_counter()
+            values = await loop.run_in_executor(None, _forward)
+            inference_seconds = time.perf_counter() - start
+            probabilities = dict(zip(eligible, values))
+            self.passes += 1
+            self._passes_counter.inc()
+            self._batch_hist.observe(len(live))
+        for index, pending in enumerate(live):
+            probability = probabilities.get(index)
+            if probability is None:
+                label, used_model = 0, False
+            else:
+                label = int(probability >= self.threshold)
+                used_model = True
+            choice = PolicyChoice(
+                label=label,
+                policy=LABEL_TO_POLICY[label],
+                probability=probability,
+                used_model=used_model,
+                batch_size=len(live),
+                trigger=trigger,
+                inference_seconds=inference_seconds,
+                queue_wait_seconds=flushed_at - pending.enqueued,
+            )
+            if not pending.future.done():
+                pending.future.set_result(choice)
+                self.served += 1
+        self.observer.event(
+            "serve-batch",
+            size=len(live),
+            eligible=len(eligible),
+            trigger=trigger,
+            inference_seconds=round(inference_seconds, 6),
+        )

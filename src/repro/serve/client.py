@@ -1,0 +1,175 @@
+"""Asyncio client for the solve service (stdlib only).
+
+A thin raw-HTTP counterpart to :mod:`repro.serve.http` — one
+connection per call, JSON in and out.  Used by
+``examples/serve_client.py``, the service tests, and the CI smoke job;
+anything that speaks HTTP (``curl``, ``urllib``) works equally well.
+
+::
+
+    client = ServeClient("127.0.0.1", 8123)
+    reply = await client.solve("p cnf 2 2\\n1 2 0\\n-1 2 0\\n")
+    assert reply.json["status"] in ("SATISFIABLE", "UNSATISFIABLE")
+
+``solve(wait=True)`` holds the connection until the result is ready;
+the HTTP status carries the failure taxonomy (200 decided/UNKNOWN,
+504 TIMEOUT, 507 MEMOUT, 500 ERROR, 429 queue full).  ``wait=False``
+returns the 202 ticket immediately — poll with :meth:`status` or
+follow the lifecycle with :meth:`stream`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, Optional
+
+
+@dataclass
+class ServeReply:
+    """One HTTP exchange: taxonomy code plus the decoded JSON body."""
+
+    code: int
+    json: Any
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.code < 300
+
+
+async def _read_response(reader: asyncio.StreamReader) -> ServeReply:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    code = int(lines[0].split()[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            key, value = line.split(":", 1)
+            headers[key.strip().lower()] = value.strip()
+    if "content-length" in headers:
+        body = await reader.readexactly(int(headers["content-length"]))
+    else:
+        body = await reader.read()  # Connection: close delimits the body
+    return ServeReply(code=code, json=json.loads(body) if body else None)
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8123):
+        self.host = host
+        self.port = port
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _open(self):
+        return await asyncio.open_connection(self.host, self.port)
+
+    def _request_bytes(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> bytes:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        return head.encode("ascii") + body
+
+    async def _call(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> ServeReply:
+        reader, writer = await self._open()
+        try:
+            writer.write(self._request_bytes(method, path, payload))
+            await writer.drain()
+            return await _read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def solve(
+        self,
+        dimacs: str,
+        max_conflicts: Optional[int] = None,
+        wait: bool = True,
+    ) -> ServeReply:
+        """Submit one DIMACS formula; see the module docs for ``wait``."""
+        payload: Dict[str, Any] = {"dimacs": dimacs, "wait": wait}
+        if max_conflicts is not None:
+            payload["max_conflicts"] = max_conflicts
+        return await self._call("POST", "/solve", payload)
+
+    async def status(self, job_id: str) -> ServeReply:
+        """Snapshot of one job (404 when it aged out of the history)."""
+        return await self._call("GET", f"/jobs/{job_id}")
+
+    async def stream(self, job_id: str) -> AsyncIterator[Dict[str, Any]]:
+        """Yield lifecycle snapshots until the job reaches a terminal state.
+
+        The first snapshot is the job's current state, so a stream
+        opened late still sees (at least) the terminal record.
+        """
+        reader, writer = await self._open()
+        try:
+            writer.write(
+                self._request_bytes("GET", f"/jobs/{job_id}/events")
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            code = int(head.decode("latin-1").split("\r\n")[0].split()[1])
+            if code != 200:
+                body = await reader.read()
+                raise LookupError(
+                    f"stream for {job_id!r} failed: "
+                    f"{code} {body.decode('utf-8', 'replace')}"
+                )
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def health(self) -> ServeReply:
+        """Service counters (``GET /healthz``)."""
+        return await self._call("GET", "/healthz")
+
+    async def metrics(self) -> ServeReply:
+        """Live counters plus the metrics-registry snapshot."""
+        return await self._call("GET", "/metrics")
+
+    async def wait_ready(self, timeout: float = 10.0) -> None:
+        """Poll ``/healthz`` until the service answers (startup helper)."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            try:
+                reply = await self.health()
+                if reply.ok:
+                    return
+            except OSError:
+                pass
+            if loop.time() >= deadline:
+                raise TimeoutError(
+                    f"service at {self.host}:{self.port} not ready "
+                    f"after {timeout:.1f}s"
+                )
+            await asyncio.sleep(0.05)

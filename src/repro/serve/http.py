@@ -1,0 +1,329 @@
+"""Asyncio HTTP front door for the solve service (stdlib only).
+
+A deliberately small HTTP/1.1 implementation over ``asyncio`` streams —
+no web framework, one connection per request (``Connection: close``),
+JSON bodies.  Endpoints:
+
+``POST /solve``
+    Body ``{"dimacs": "...", "max_conflicts": N?, "wait": true?}``.
+    With ``wait`` (the default) the connection is held until the solve
+    finishes and the response carries the full result under the
+    failure-taxonomy status code (200 / 504 / 507 / 500 — see
+    :mod:`repro.serve.protocol`).  With ``"wait": false`` the request
+    is accepted and ``202 {"id": ...}`` returns immediately.  A full
+    queue is ``429`` with ``Retry-After``.  Closing the connection
+    while waiting cancels the request — it is dropped from its
+    inference batch and never reaches a solver.
+
+``GET /jobs/<id>``
+    Current request snapshot (``200``), or ``404``.
+
+``GET /jobs/<id>/events``
+    NDJSON stream: the current snapshot, then one line per lifecycle
+    transition, closing after the terminal state.
+
+``GET /healthz``
+    Service counters: queue depth, totals, inference passes.
+
+``GET /metrics``
+    ``{"service": {...}, "registry": {...}}`` — live counters plus the
+    metrics-registry snapshot (empty when metrics are disabled).
+
+The server binds localhost by default; it is a trusted-network service,
+not an internet-facing one (no TLS, no auth — put a real proxy in
+front for anything beyond the local machine).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cnf.dimacs import parse_dimacs
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.serve.protocol import AdmissionError, ServeRequest
+from repro.serve.service import SolveService
+
+#: Largest accepted request body (a DIMACS formula), in bytes.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+    507: "Insufficient Storage",
+}
+
+
+def _head(
+    code: int,
+    content_type: str,
+    length: Optional[int],
+    extra: Optional[Dict[str, str]] = None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    for key, value in (extra or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    )
+
+
+async def _send_json(
+    writer: asyncio.StreamWriter,
+    code: int,
+    payload: Any,
+    extra: Optional[Dict[str, str]] = None,
+) -> None:
+    body = _json_bytes(payload)
+    writer.write(
+        _head(code, "application/json", len(body), extra) + body
+    )
+    await writer.drain()
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP request: (method, path, headers, body)."""
+    raw = await asyncio.wait_for(
+        reader.readuntil(b"\r\n\r\n"), timeout=30.0
+    )
+    head_lines = raw.decode("latin-1").split("\r\n")
+    parts = head_lines[0].split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {head_lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in head_lines[1:]:
+        if ":" in line:
+            key, value = line.split(":", 1)
+            headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _BodyTooLarge(length)
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class _BodyTooLarge(Exception):
+    def __init__(self, length: int):
+        super().__init__(f"request body of {length} bytes exceeds cap")
+        self.length = length
+
+
+class HttpFrontDoor:
+    """Routes HTTP connections onto one :class:`SolveService`."""
+
+    def __init__(
+        self, service: SolveService, observer: Observer = NULL_OBSERVER
+    ):
+        self.service = service
+        self.observer = observer
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Bind and start serving; ``port=0`` picks a free port."""
+        return await asyncio.start_server(self.handle, host, port)
+
+    # -- connection handler ------------------------------------------------
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, _headers, body = await _read_request(reader)
+            except _BodyTooLarge as exc:
+                await _send_json(writer, 413, {"error": str(exc)})
+                return
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                ValueError,
+            ):
+                return  # torn or abandoned connection: nothing to answer
+            await self._route(method, path, body, reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/solve":
+            if method != "POST":
+                await _send_json(writer, 405, {"error": "POST /solve"})
+                return
+            await self._solve(body, reader, writer)
+        elif path == "/healthz" and method == "GET":
+            await _send_json(writer, 200, self.service.stats())
+        elif path == "/metrics" and method == "GET":
+            await _send_json(
+                writer,
+                200,
+                {
+                    "service": self.service.stats(),
+                    "registry": self.observer.registry.snapshot(),
+                },
+            )
+        elif path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream(rest[: -len("/events")].rstrip("/"), writer)
+            else:
+                request = self.service.get(rest)
+                if request is None:
+                    await _send_json(writer, 404, {"error": "no such job"})
+                else:
+                    await _send_json(writer, 200, request.snapshot())
+        else:
+            await _send_json(writer, 404, {"error": f"no route {path}"})
+
+    # -- POST /solve -------------------------------------------------------
+
+    async def _solve(
+        self,
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            cnf = parse_dimacs(payload["dimacs"])
+            max_conflicts = payload.get("max_conflicts")
+            if max_conflicts is not None:
+                max_conflicts = int(max_conflicts)
+            wait = bool(payload.get("wait", True))
+        except KeyError as exc:
+            await _send_json(
+                writer, 400, {"error": f"missing field {exc.args[0]!r}"}
+            )
+            return
+        except Exception as exc:  # malformed JSON or DIMACS
+            await _send_json(
+                writer, 400, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        try:
+            request = self.service.submit(cnf, max_conflicts=max_conflicts)
+        except AdmissionError as exc:
+            await _send_json(
+                writer,
+                exc.http_code,
+                {"error": str(exc)},
+                extra={"Retry-After": "1"},
+            )
+            return
+        if not wait:
+            await _send_json(writer, 202, request.snapshot())
+            return
+        await self._wait_and_respond(request, reader, writer)
+
+    async def _wait_and_respond(
+        self,
+        request: ServeRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Hold the connection until done; a disconnect cancels the job.
+
+        The client sends nothing after its request, so any read
+        completing early (EOF, stray bytes, reset) means the client is
+        gone — the request is cancelled before it costs inference or
+        solver time.
+        """
+        done = asyncio.ensure_future(request.done.wait())
+        gone = asyncio.ensure_future(reader.read(1))
+        try:
+            await asyncio.wait(
+                {done, gone}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for waiter in (done, gone):
+                if not waiter.done():
+                    waiter.cancel()
+            await asyncio.gather(done, gone, return_exceptions=True)
+        if not request.done.is_set():
+            self.service.cancel(request.id)
+            await request.done.wait()
+            return  # nobody is listening for the response
+        await _send_json(writer, request.http_code(), request.snapshot())
+
+    # -- GET /jobs/<id>/events ---------------------------------------------
+
+    async def _stream(
+        self, request_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """NDJSON lifecycle stream: snapshot now, then every transition."""
+        request = self.service.get(request_id)
+        if request is None:
+            await _send_json(writer, 404, {"error": "no such job"})
+            return
+        queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+        request.watchers.append(queue)
+        try:
+            writer.write(_head(200, "application/x-ndjson", None))
+            snapshot = request.snapshot()
+            writer.write(_json_bytes(snapshot) + b"\n")
+            await writer.drain()
+            state = snapshot["state"]
+            while state not in ("DONE", "CANCELLED"):
+                snapshot = await queue.get()
+                writer.write(_json_bytes(snapshot) + b"\n")
+                await writer.drain()
+                state = snapshot["state"]
+        finally:
+            if queue in request.watchers:
+                request.watchers.remove(queue)
+
+
+async def start_service(
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    observer: Observer = NULL_OBSERVER,
+) -> Tuple[asyncio.AbstractServer, HttpFrontDoor]:
+    """Start the service pipeline and its HTTP listener in one call."""
+    await service.start()
+    door = HttpFrontDoor(service, observer=observer)
+    server = await door.serve(host, port)
+    return server, door
+
+
+def bound_address(server: asyncio.AbstractServer) -> Tuple[str, int]:
+    """(host, port) the server actually bound (resolves ``port=0``)."""
+    sock = server.sockets[0]
+    host, port = sock.getsockname()[:2]
+    return host, port

@@ -1,0 +1,156 @@
+"""Service wire protocol: request lifecycle, failure taxonomy mapping.
+
+One :class:`ServeRequest` is one solve job from admission to response.
+Its lifecycle is linear::
+
+    QUEUED -> INFERRING -> SOLVING -> DONE
+       \\          \\           \\
+        +-----------+-----------+--> CANCELLED   (client disconnect)
+
+and every terminal job carries a :class:`~repro.parallel.runner.SolveOutcome`
+whose :class:`~repro.solver.types.Status` maps onto an HTTP response code
+through :data:`STATUS_HTTP` — the service's failure taxonomy *is* the
+supervised runner's taxonomy, surfaced over the wire:
+
+==============  ====  =============================================
+solver status   HTTP  meaning
+==============  ====  =============================================
+SATISFIABLE      200  decided; ``model`` holds the satisfying assignment
+UNSATISFIABLE    200  decided; no model
+UNKNOWN          200  conflict budget exhausted (deterministic)
+TIMEOUT          504  per-request wall-clock budget exceeded
+MEMOUT           507  per-request memory budget exceeded
+ERROR            500  worker crashed; ``error`` holds the detail
+==============  ====  =============================================
+
+Admission rejections (queue full) are 429 and never become requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cnf.formula import CNF
+from repro.parallel.runner import SolveOutcome
+from repro.solver.types import Status
+
+
+class RequestState(enum.Enum):
+    """Where a request currently sits in the service pipeline."""
+
+    QUEUED = "QUEUED"          # admitted, waiting for an inference batch
+    INFERRING = "INFERRING"    # coalesced into a forward pass in flight
+    SOLVING = "SOLVING"        # policy picked, waiting on / inside a solver
+    DONE = "DONE"              # terminal: outcome recorded
+    CANCELLED = "CANCELLED"    # terminal: client disconnected mid-flight
+
+    @property
+    def terminal(self) -> bool:
+        return self in (RequestState.DONE, RequestState.CANCELLED)
+
+
+#: Solver / supervision status -> HTTP response code (see module docs).
+STATUS_HTTP: Dict[Status, int] = {
+    Status.SATISFIABLE: 200,
+    Status.UNSATISFIABLE: 200,
+    Status.UNKNOWN: 200,
+    Status.TIMEOUT: 504,
+    Status.MEMOUT: 507,
+    Status.ERROR: 500,
+}
+
+#: Admission-control rejection (queue depth cap reached).
+HTTP_QUEUE_FULL = 429
+
+
+def http_code_for(status: Status) -> int:
+    """HTTP response code for a terminal solve status."""
+    return STATUS_HTTP[status]
+
+
+def new_request_id() -> str:
+    """Fresh request identifier (``q-`` + 12 hex chars)."""
+    return "q-" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class ServeRequest:
+    """One admitted solve job and everything learned about it since.
+
+    The ``done`` event fires exactly once, at the DONE/CANCELLED
+    transition; ``watchers`` receive every state transition as a
+    snapshot dict (the NDJSON streaming endpoint feeds from one).
+    """
+
+    cnf: CNF
+    max_conflicts: int
+    id: str = field(default_factory=new_request_id)
+    state: RequestState = RequestState.QUEUED
+    submitted: float = field(default_factory=time.perf_counter)
+    # -- filled in by the inference batch --------------------------------
+    label: Optional[int] = None
+    policy: str = ""
+    probability: Optional[float] = None
+    used_model: bool = False
+    batch_size: int = 0
+    queue_wait_seconds: float = 0.0
+    # -- filled in at completion -----------------------------------------
+    outcome: Optional[SolveOutcome] = None
+    wall_seconds: float = 0.0
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    watchers: List["asyncio.Queue[Dict[str, Any]]"] = field(
+        default_factory=list
+    )
+
+    def http_code(self) -> int:
+        """Response code for the current (terminal) state."""
+        if self.state is RequestState.CANCELLED or self.outcome is None:
+            return 200
+        return http_code_for(self.outcome.status)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able view of the request for status and stream responses."""
+        record: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "max_conflicts": self.max_conflicts,
+        }
+        if self.label is not None:
+            record["label"] = self.label
+            record["policy"] = self.policy
+            record["probability"] = self.probability
+            record["used_model"] = self.used_model
+            record["batch_size"] = self.batch_size
+        if self.outcome is not None:
+            record["status"] = self.outcome.status.value
+            record["model"] = self.outcome.model
+            record["propagations"] = self.outcome.propagations
+            record["conflicts"] = self.outcome.conflicts
+            record["cached"] = self.outcome.cached
+            record["resumed"] = self.outcome.resumed
+            record["wall_seconds"] = round(self.wall_seconds, 6)
+            record["queue_wait_seconds"] = round(self.queue_wait_seconds, 6)
+            if self.outcome.error:
+                record["error"] = self.outcome.error
+        return record
+
+    def transition(self, state: RequestState) -> None:
+        """Advance the lifecycle and notify every attached watcher."""
+        self.state = state
+        if state.terminal:
+            self.done.set()
+        if self.watchers:
+            snap = self.snapshot()
+            for queue in self.watchers:
+                queue.put_nowait(snap)
+
+
+class AdmissionError(Exception):
+    """Request rejected at the front door (queue depth cap reached)."""
+
+    http_code = HTTP_QUEUE_FULL

@@ -1,0 +1,383 @@
+"""The solve service: admission, batched inference, supervised solving.
+
+:class:`SolveService` is the long-lived core behind ``repro serve``.
+The pipeline per request::
+
+    submit() --admission--> [inference queue] --flush--> HGT forward pass
+                                                             |
+    response <-- journal/cache or ParallelRunner <-- [solve queue]
+
+Three asyncio components, mirroring the executor/orchestrator split of
+job-runner systems:
+
+* the **front door** (:meth:`submit`) applies admission control — a hard
+  queue-depth cap (reject with 429 rather than building unbounded
+  backlog) and per-request conflict budgets clamped to a service cap;
+* the :class:`~repro.serve.batcher.InferenceBatcher` coalesces queued
+  requests into one batched HGT forward pass (size- or deadline-
+  triggered), amortizing selection cost across concurrent traffic;
+* the **solve pool** drains classified requests and fans each group out
+  through one shared :class:`~repro.parallel.runner.ParallelRunner` —
+  supervised worker processes with wall-clock/memory budgets, the
+  on-disk result cache, and the append-only journal.  Groups run
+  serially through the runner (the journal is single-writer by
+  design); parallelism lives *inside* a group, across its worker
+  processes.
+
+Restart survival comes from the journal: a service restarted with the
+same journal path answers already-completed (formula, policy, budget)
+triples from disk without re-solving — the same ``--resume`` contract
+sweeps rely on.  Graceful shutdown (``stop(drain=True)``) stops
+admissions, then drains both queues to empty before exiting, so an
+orderly restart loses nothing at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cnf.formula import CNF
+from repro.obs.metrics import TIME_BUCKETS
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.parallel.runner import ParallelRunner, SolveOutcome, SolveTask
+from repro.selection.dataset import DEFAULT_MAX_NODES
+from repro.serve.batcher import InferenceBatcher
+from repro.serve.protocol import (
+    AdmissionError,
+    RequestState,
+    ServeRequest,
+)
+from repro.solver.solver import SolverConfig
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance (see ``repro serve --help``)."""
+
+    # -- inference batching ----------------------------------------------
+    max_batch: int = 16            # size-triggered flush threshold
+    flush_window: float = 0.05     # deadline-triggered flush, seconds
+    max_nodes: int = DEFAULT_MAX_NODES  # node cap: larger graphs skip inference
+    threshold: Optional[float] = None   # decision threshold (None: model's)
+    # -- admission control and budgets -----------------------------------
+    max_queue_depth: int = 64      # in-flight request cap; beyond is 429
+    default_max_conflicts: int = 100_000  # budget when the request names none
+    max_conflicts_cap: int = 1_000_000    # hard per-request budget ceiling
+    # -- solve execution --------------------------------------------------
+    solver_core: str = "arena"
+    workers: int = 1               # processes per solve group
+    task_timeout: Optional[float] = None   # per-request wall budget, seconds
+    memory_limit_mb: Optional[float] = None
+    cache_dir: Optional[str] = None
+    journal: Optional[str] = None  # restart-survival ledger
+    #: Terminal requests kept queryable via ``GET /jobs/<id>``.
+    history_limit: int = 1024
+
+
+_STOP = object()
+
+
+class SolveService:
+    """Asynchronous solve service with batched policy inference."""
+
+    def __init__(
+        self,
+        model=None,
+        config: Optional[ServeConfig] = None,
+        observer: Observer = NULL_OBSERVER,
+    ):
+        self.config = config or ServeConfig()
+        self.model = model
+        self.observer = observer
+        cfg = self.config
+        self.batcher = InferenceBatcher(
+            model,
+            max_batch=cfg.max_batch,
+            flush_window=cfg.flush_window,
+            max_nodes=cfg.max_nodes,
+            threshold=cfg.threshold,
+            observer=observer,
+        )
+        self.runner = ParallelRunner(
+            workers=cfg.workers,
+            cache_dir=cfg.cache_dir,
+            task_timeout=cfg.task_timeout,
+            memory_limit_mb=cfg.memory_limit_mb,
+            journal=cfg.journal,
+            observer=observer,
+        )
+        self.solver_config = SolverConfig(core=cfg.solver_core)
+        self.requests: Dict[str, ServeRequest] = {}
+        self.accepting = False
+        # Plain-int totals: always live, even with observability off
+        # (the registry's null instruments read 0 forever).
+        self.total_requests = 0
+        self.total_responses = 0
+        self.total_rejected = 0
+        self.total_cancelled = 0
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._terminal_order: Deque[str] = deque()
+        self._solve_queue: "asyncio.Queue[object]" = asyncio.Queue()
+        self._solve_task: Optional[asyncio.Task] = None
+        # Pre-resolved instruments (null when observability is disabled).
+        self._requests_counter = observer.counter("serve.requests")
+        self._rejected_counter = observer.counter("serve.rejected")
+        self._responses_counter = observer.counter("serve.responses")
+        self._cancelled_counter = observer.counter("serve.cancelled")
+        self._depth_gauge = observer.gauge("serve.queue_depth")
+        self._wall_hist = observer.histogram(
+            "serve.request_wall_seconds", TIME_BUCKETS
+        )
+        self._wait_hist = observer.histogram(
+            "serve.queue_wait_seconds", TIME_BUCKETS
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batcher and the solve pool; begin accepting."""
+        await self.batcher.start()
+        if self._solve_task is None:
+            self._solve_task = asyncio.create_task(self._solve_loop())
+        self.accepting = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` every admitted request completes.
+
+        ``drain=True`` (graceful): stop admissions, wait for all
+        in-flight requests to reach a terminal state, then stop the
+        pipeline loops.  ``drain=False``: cancel in-flight requests
+        (they report CANCELLED) and stop immediately.
+        """
+        self.accepting = False
+        active = [
+            task for task in self._tasks.values() if not task.done()
+        ]
+        if not drain:
+            for task in active:
+                task.cancel()
+        if active:
+            await asyncio.gather(*active, return_exceptions=True)
+        await self.batcher.stop()
+        if self._solve_task is not None:
+            await self._solve_queue.put(_STOP)
+            await self._solve_task
+            self._solve_task = None
+        self.observer.event(
+            "serve-stop",
+            drained=drain,
+            requests=self.total_requests,
+            responses=self.total_responses,
+            rejected=self.total_rejected,
+            cancelled=self.total_cancelled,
+        )
+        self.observer.flush()
+
+    @property
+    def active(self) -> int:
+        """Requests admitted but not yet terminal (the queue depth)."""
+        return sum(
+            1 for r in self.requests.values() if not r.state.terminal
+        )
+
+    # -- front door --------------------------------------------------------
+
+    def submit(
+        self, cnf: CNF, max_conflicts: Optional[int] = None
+    ) -> ServeRequest:
+        """Admit one solve request, or raise :class:`AdmissionError`.
+
+        Budgets: a request naming no conflict budget gets
+        ``default_max_conflicts``; every budget is clamped to
+        ``max_conflicts_cap``.  The wall-clock budget is the service's
+        ``task_timeout``, enforced by the supervisor per attempt.
+        """
+        depth = self.active
+        if not self.accepting or depth >= self.config.max_queue_depth:
+            self.total_rejected += 1
+            self._rejected_counter.inc()
+            self.observer.event(
+                "serve-request",
+                admitted=False,
+                queue_depth=depth,
+                accepting=self.accepting,
+            )
+            if not self.accepting:
+                raise AdmissionError("service is not accepting requests")
+            raise AdmissionError(
+                f"queue full ({depth}/{self.config.max_queue_depth})"
+            )
+        budget = (
+            self.config.default_max_conflicts
+            if max_conflicts is None
+            else max_conflicts
+        )
+        budget = max(1, min(budget, self.config.max_conflicts_cap))
+        request = ServeRequest(cnf=cnf, max_conflicts=budget)
+        self.requests[request.id] = request
+        self.total_requests += 1
+        self._requests_counter.inc()
+        self._depth_gauge.set(depth + 1)
+        self.observer.event(
+            "serve-request",
+            admitted=True,
+            id=request.id,
+            queue_depth=depth + 1,
+            num_vars=cnf.num_vars,
+            num_clauses=cnf.num_clauses,
+            max_conflicts=budget,
+        )
+        self._tasks[request.id] = asyncio.create_task(self._run(request))
+        return request
+
+    def get(self, request_id: str) -> Optional[ServeRequest]:
+        """Look up a live or recently terminal request."""
+        return self.requests.get(request_id)
+
+    def cancel(self, request_id: str) -> bool:
+        """Cancel an in-flight request (client disconnect); True if cut."""
+        request = self.requests.get(request_id)
+        if request is None or request.state.terminal:
+            return False
+        task = self._tasks.get(request_id)
+        if task is None or task.done():
+            return False
+        task.cancel()
+        return True
+
+    async def wait(self, request_id: str) -> ServeRequest:
+        """Block until the request reaches a terminal state."""
+        request = self.requests[request_id]
+        await request.done.wait()
+        return request
+
+    # -- request pipeline --------------------------------------------------
+
+    async def _run(self, request: ServeRequest) -> None:
+        try:
+            choice = await self.batcher.submit(
+                request.cnf,
+                on_flush=lambda: request.transition(RequestState.INFERRING),
+            )
+            request.label = choice.label
+            request.policy = choice.policy
+            request.probability = choice.probability
+            request.used_model = choice.used_model
+            request.batch_size = choice.batch_size
+            request.queue_wait_seconds = choice.queue_wait_seconds
+            self._wait_hist.observe(choice.queue_wait_seconds)
+            request.transition(RequestState.SOLVING)
+            outcome = await self._dispatch_solve(request)
+            request.outcome = outcome
+            request.wall_seconds = time.perf_counter() - request.submitted
+            self._wall_hist.observe(request.wall_seconds)
+            self.total_responses += 1
+            self._responses_counter.inc()
+            request.transition(RequestState.DONE)
+            self.observer.event(
+                "serve-response",
+                id=request.id,
+                status=outcome.status.value,
+                code=request.http_code(),
+                policy=request.policy,
+                label=request.label,
+                batch_size=request.batch_size,
+                cached=outcome.cached,
+                resumed=outcome.resumed,
+                wall_seconds=round(request.wall_seconds, 6),
+                queue_wait_seconds=round(request.queue_wait_seconds, 6),
+            )
+        except asyncio.CancelledError:
+            self.total_cancelled += 1
+            self._cancelled_counter.inc()
+            request.transition(RequestState.CANCELLED)
+            self.observer.event(
+                "serve-response",
+                id=request.id,
+                status="CANCELLED",
+                code=request.http_code(),
+                wall_seconds=round(
+                    time.perf_counter() - request.submitted, 6
+                ),
+            )
+            raise
+        finally:
+            self._depth_gauge.set(self.active)
+            self._retire(request)
+
+    def _retire(self, request: ServeRequest) -> None:
+        """Bound the terminal-request history at ``history_limit``."""
+        self._tasks.pop(request.id, None)
+        self._terminal_order.append(request.id)
+        while len(self._terminal_order) > self.config.history_limit:
+            stale = self._terminal_order.popleft()
+            self.requests.pop(stale, None)
+
+    async def _dispatch_solve(self, request: ServeRequest) -> SolveOutcome:
+        future: "asyncio.Future[SolveOutcome]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        await self._solve_queue.put((request, future))
+        return await future
+
+    def _task_for(self, request: ServeRequest) -> SolveTask:
+        return SolveTask(
+            cnf=request.cnf,
+            policy=request.policy,
+            config=self.solver_config,
+            max_conflicts=request.max_conflicts,
+            tag=request.id,
+        )
+
+    async def _solve_loop(self) -> None:
+        """Drain classified requests in groups through the shared runner.
+
+        One group = everything queued at pickup time; requests that
+        finished inference together are solved by one ``runner.run``
+        call, so the journal/cache lookups and the supervised fan-out
+        amortize the same way the inference does.  Groups are serial —
+        the journal has exactly one writer.
+        """
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            item = await self._solve_queue.get()
+            if item is _STOP:
+                break
+            group: List[Tuple[ServeRequest, asyncio.Future]] = [item]
+            while not self._solve_queue.empty():
+                extra = self._solve_queue.get_nowait()
+                if extra is _STOP:
+                    stopping = True
+                    break
+                group.append(extra)
+            # Cancelled futures (client gone) never reach the solver.
+            group = [(req, fut) for req, fut in group if not fut.done()]
+            if not group:
+                continue
+            tasks = [self._task_for(req) for req, _ in group]
+            outcomes = await loop.run_in_executor(
+                None, self.runner.run, tasks
+            )
+            for (req, fut), outcome in zip(group, outcomes):
+                if not fut.done():
+                    fut.set_result(outcome)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Point-in-time service counters (the ``/healthz`` payload)."""
+        return {
+            "accepting": self.accepting,
+            "queue_depth": self.active,
+            "requests": self.total_requests,
+            "responses": self.total_responses,
+            "rejected": self.total_rejected,
+            "cancelled": self.total_cancelled,
+            "inference_passes": self.batcher.passes,
+            "inference_served": self.batcher.served,
+        }

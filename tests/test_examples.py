@@ -88,3 +88,9 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "EQUIVALENT" in proc.stdout
         assert "NOT equivalent" in proc.stdout
+
+    def test_serve_client(self):
+        proc = run_example("serve_client.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "amortized yes" in proc.stdout
+        assert "DONE" in proc.stdout
