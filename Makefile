@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke examples clean
+.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke chaos-smoke examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -50,6 +50,16 @@ fuzz-smoke:
 # proves amortized inference.  Mirrors the CI service-smoke job.
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# Chaos smoke: run the seeded CI storm (inference crash + breaker trip
+# and recovery + worker kill + journal write failure + mid-scenario
+# restart) against a live service, twice, and demand identical outcome
+# fingerprints.  Mirrors the CI chaos-smoke job.
+CHAOS_SCENARIO ?= mixed
+CHAOS_TRACE ?= chaos-traces
+chaos-smoke:
+	$(PYTHON) -m repro chaos --scenario $(CHAOS_SCENARIO) \
+		--check-determinism --trace $(CHAOS_TRACE)
 
 report:
 	$(PYTHON) -m repro.bench.reporting

@@ -1,0 +1,57 @@
+"""Chaos harness: deterministic fault injection against the live service.
+
+``repro.chaos`` stress-tests the serving stack's resilience contract by
+running scripted failure storms — crashing or stalling inference,
+killing workers, failing journal writes, tearing client connections —
+against a *real* :class:`~repro.serve.service.SolveService` with its
+HTTP front door bound, then judging every response against invariants
+(terminal, correct, degraded-honest, fault-delivery, breaker recovery,
+journal replay).  Faults key on ordinals, never timestamps, so a
+scenario's outcome fingerprint is reproducible: ``repro chaos
+--check-determinism`` runs a scenario twice and demands identical
+fingerprints.
+
+Entry points: :func:`run_scenario` / the ``repro chaos`` CLI;
+:data:`SCENARIOS` is the scripted registry.  See ``docs/serving.md``
+for the resilience contract the invariants encode.
+"""
+
+from repro.chaos.faults import (
+    INFERENCE_FAULT_KINDS,
+    ChaoticModel,
+    FlakyJournal,
+    InferenceFault,
+    attach_worker_faults,
+    journal_for,
+)
+from repro.chaos.scenario import (
+    SCENARIOS,
+    ChaosReport,
+    ChaosScenario,
+    InvariantResult,
+    RequestRecord,
+    get_scenario,
+    render_report,
+    run_scenario,
+    scenario_fingerprint,
+    scenario_names,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosScenario",
+    "ChaoticModel",
+    "FlakyJournal",
+    "INFERENCE_FAULT_KINDS",
+    "InferenceFault",
+    "InvariantResult",
+    "RequestRecord",
+    "SCENARIOS",
+    "attach_worker_faults",
+    "get_scenario",
+    "journal_for",
+    "render_report",
+    "run_scenario",
+    "scenario_fingerprint",
+    "scenario_names",
+]

@@ -1,0 +1,206 @@
+"""Deterministic fault injectors for the live solve service.
+
+Each injector wraps one component boundary of the serving pipeline and
+fires a scheduled fault at a deterministic point — a forward-pass
+ordinal, a per-request worker fault, a journal-write ordinal — never at
+a wall-clock time.  Scenarios (:mod:`repro.chaos.scenario`) compose
+them into scripted failure storms whose outcome is reproducible enough
+to fingerprint.
+
+Injection points, matching the real failure surface:
+
+* **inference** — :class:`ChaoticModel` proxies the NeuroSelect model
+  and makes chosen ``predict_proba_batch`` calls raise, stall past the
+  batcher's ``inference_timeout`` (hang), or merely dawdle (slow);
+* **worker** — :func:`attach_worker_faults` maps request tags onto
+  supervisor :class:`~repro.parallel.supervisor.Fault` plans, so a
+  chosen request's worker process is killed / OOMs / crashes *inside*
+  the supervised boundary;
+* **journal** — :class:`FlakyJournal` is a
+  :class:`~repro.parallel.journal.RunJournal` whose scheduled appends
+  raise ``OSError`` (full disk, yanked volume);
+* **client disconnect** is driven from the scenario side (tearing a
+  held HTTP connection), not wrapped here — the service under test
+  must see a real socket close.
+
+Every triggered fault emits a ``chaos-fault`` trace event, so a trace
+of a chaos run records both what was injected and how the service
+answered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.parallel.journal import RunJournal
+from repro.parallel.supervisor import Fault, FaultPlan
+
+#: Fault kinds :class:`ChaoticModel` understands.
+INFERENCE_FAULT_KINDS = ("raise", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class InferenceFault:
+    """One scheduled forward-pass fault.
+
+    ``seconds`` is the stall length for ``hang``/``slow``; a *hang* is
+    simply a stall the scenario sizes past the batcher's
+    ``inference_timeout`` (the model thread keeps running — exactly the
+    orphaned-thread shape a real stall produces), while *slow* stays
+    under it and merely inflates latency.
+    """
+
+    kind: str
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in INFERENCE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown inference fault {self.kind!r}; "
+                f"expected one of {INFERENCE_FAULT_KINDS}"
+            )
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+
+class ChaoticModel:
+    """Model proxy injecting faults at scheduled forward-pass ordinals.
+
+    ``faults`` maps the 1-based ordinal of a ``predict_proba_batch``
+    call to the fault it suffers.  Ordinals — not timestamps — keep the
+    schedule deterministic under scheduling jitter: the N-th forward
+    pass fails no matter when it happens.  Runs inside the batcher's
+    executor thread, so stalls block the pass, never the event loop.
+    """
+
+    def __init__(
+        self,
+        model,
+        faults: Optional[Dict[int, InferenceFault]] = None,
+        observer: Observer = NULL_OBSERVER,
+    ):
+        self.model = model
+        self.faults = dict(faults or {})
+        self.observer = observer
+        #: Forward passes attempted (including faulted ones).
+        self.calls = 0
+        #: ``(ordinal, kind)`` of every fault that actually fired.
+        self.triggered: List[Tuple[int, str]] = []
+
+    @property
+    def decision_threshold(self) -> float:
+        return getattr(self.model, "decision_threshold", 0.5)
+
+    def predict_proba_batch(self, batch):
+        self.calls += 1
+        fault = self.faults.get(self.calls)
+        if fault is not None:
+            self.triggered.append((self.calls, fault.kind))
+            self.observer.event(
+                "chaos-fault",
+                point="inference",
+                kind=fault.kind,
+                call=self.calls,
+            )
+            if fault.kind == "raise":
+                raise RuntimeError(
+                    f"chaos: injected inference crash (call {self.calls})"
+                )
+            # hang / slow: stall, then answer normally.  For a hang the
+            # batcher's wait_for has long since abandoned this thread
+            # and the result vanishes into a cancelled future — the
+            # realistic aftermath of a stalled dependency.
+            time.sleep(fault.seconds)
+        return self.model.predict_proba_batch(batch)
+
+
+class FlakyJournal(RunJournal):
+    """Run journal whose scheduled appends fail with ``OSError``.
+
+    ``fail_writes`` holds 1-based ordinals of :meth:`record` calls that
+    raise instead of writing (deduplicated repeat records still count a
+    call — the schedule is over *attempts*, which is what the caller's
+    error handling sees).
+    """
+
+    def __init__(
+        self,
+        path,
+        fail_writes: Iterable[int] = (),
+        observer: Observer = NULL_OBSERVER,
+    ):
+        super().__init__(path)
+        self._fail_writes = frozenset(fail_writes)
+        self._observer = observer
+        #: Record attempts so far (1-based schedule domain).
+        self.record_calls = 0
+        #: Faults that actually fired.
+        self.injected = 0
+
+    def record(self, key, payload) -> None:
+        self.record_calls += 1
+        if self.record_calls in self._fail_writes:
+            self.injected += 1
+            self._observer.event(
+                "chaos-fault",
+                point="journal",
+                kind="write-error",
+                call=self.record_calls,
+            )
+            raise OSError(
+                f"chaos: injected journal write failure "
+                f"(record call {self.record_calls})"
+            )
+        super().record(key, payload)
+
+
+def attach_worker_faults(
+    runner, schedule: Dict[str, Fault], observer: Observer = NULL_OBSERVER
+) -> None:
+    """Rebind ``runner.run`` to install per-request worker faults.
+
+    ``schedule`` maps task *tags* (the service uses request ids) to
+    supervisor faults; on each ``run`` call the wrapper translates tags
+    into that group's task indices and installs a
+    :class:`~repro.parallel.supervisor.FaultPlan` for the duration of
+    the call.  Keying by tag — not index — keeps the schedule stable
+    however the service happens to group requests into solve batches.
+    The mapping is consulted live, so a scenario may keep adding
+    entries after attaching.
+    """
+    original = runner.run
+
+    def run_with_faults(tasks):
+        faults = {
+            index: schedule[task.tag]
+            for index, task in enumerate(tasks)
+            if task.tag in schedule
+        }
+        previous = runner.fault_plan
+        if faults:
+            for index, fault in faults.items():
+                observer.event(
+                    "chaos-fault",
+                    point="worker",
+                    kind=fault.kind,
+                    tag=tasks[index].tag,
+                )
+            runner.fault_plan = FaultPlan(faults)
+        try:
+            return original(tasks)
+        finally:
+            runner.fault_plan = previous
+
+    runner.run = run_with_faults
+
+
+def journal_for(
+    path, fail_writes: Iterable[int], observer: Observer = NULL_OBSERVER
+) -> Union[RunJournal, FlakyJournal]:
+    """A journal for ``path``; flaky when any write is scheduled to fail."""
+    if fail_writes:
+        return FlakyJournal(path, fail_writes=fail_writes, observer=observer)
+    return RunJournal(path)

@@ -18,8 +18,13 @@ Subcommands mirror the library's workflow:
 * ``report``     — render trace reports (``repro report out/*.jsonl``),
   or rebuild EXPERIMENTS.md from benchmark results when called bare
 * ``serve``      — long-lived solve service (JSON over HTTP, localhost):
-  admission control, batched policy inference, supervised solve fan-out
-  (see ``docs/serving.md``)
+  admission control, batched policy inference, supervised solve fan-out,
+  opt-in resilience (circuit breaker, deadline propagation — see
+  ``docs/serving.md``)
+* ``chaos``      — scripted fault-injection scenarios against a live
+  service instance, judged against the resilience invariants
+  (``--list`` names them; ``--check-determinism`` demands identical
+  fingerprints across two runs)
 
 Each subcommand is a thin shell over public library calls, so anything
 the CLI does is equally scriptable from Python.
@@ -660,6 +665,27 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--journal",
                    help="append-only journal; a restarted service answers "
                         "already-solved requests from it without re-solving")
+    p.add_argument("--breaker", action="store_true",
+                   help="guard the inference path with a circuit breaker: "
+                        "while it is open, requests are served by the "
+                        "default policy and tagged degraded")
+    p.add_argument("--breaker-window", type=int, default=16,
+                   help="rolling sample window the failure rate is "
+                        "computed over (with --breaker)")
+    p.add_argument("--breaker-threshold", type=float, default=0.5,
+                   help="failure rate in [0,1] that opens the breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds an open breaker waits before sending "
+                        "half-open probes")
+    p.add_argument("--breaker-slow-seconds", type=float,
+                   help="forward passes slower than this count as "
+                        "failures (latency breaker)")
+    p.add_argument("--inference-timeout", type=float,
+                   help="hard cap on one batched forward pass, seconds; "
+                        "a breach degrades the batch to the default policy")
+    p.add_argument("--conflicts-per-second", type=float, default=25_000.0,
+                   help="calibration rate converting a request's remaining "
+                        "deadline into an affordable conflict budget")
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -670,7 +696,7 @@ def cmd_serve(args) -> int:
     import signal
 
     from repro.models import NeuroSelect
-    from repro.serve import ServeConfig, SolveService
+    from repro.serve import BreakerConfig, ServeConfig, SolveService
     from repro.serve.http import bound_address, start_service
 
     obs = _observer_from_args(args, "serve")
@@ -679,6 +705,14 @@ def cmd_serve(args) -> int:
         from repro.nn import load_module
 
         load_module(model, args.weights)
+    breaker = None
+    if args.breaker:
+        breaker = BreakerConfig(
+            window=args.breaker_window,
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+            slow_seconds=args.breaker_slow_seconds,
+        )
     config = ServeConfig(
         max_batch=args.max_batch,
         flush_window=args.flush_window,
@@ -691,6 +725,9 @@ def cmd_serve(args) -> int:
         memory_limit_mb=args.memory_limit_mb,
         cache_dir=args.cache_dir,
         journal=args.journal,
+        breaker=breaker,
+        inference_timeout=args.inference_timeout,
+        conflicts_per_second=args.conflicts_per_second,
     )
 
     async def _serve() -> None:
@@ -740,6 +777,74 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _add_chaos(subparsers) -> None:
+    p = subparsers.add_parser(
+        "chaos",
+        help="run a scripted fault-injection scenario against a live "
+             "service instance and judge the resilience invariants",
+    )
+    p.add_argument("--scenario", default="mixed",
+                   help="scenario name (see --list; default: mixed)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="formula seed; same seed, same fingerprint")
+    p.add_argument("--list", action="store_true",
+                   help="list available scenarios and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable report instead of text")
+    p.add_argument("--check-determinism", action="store_true",
+                   help="run the scenario twice in fresh workdirs and "
+                        "fail unless the fingerprints are identical")
+    p.add_argument("--workdir",
+                   help="directory for the scenario journal (default: a "
+                        "fresh temporary directory)")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_chaos)
+
+
+def cmd_chaos(args) -> int:
+    """Handle ``repro chaos``: run one scenario, exit 1 on any violation."""
+    from repro.chaos import (
+        get_scenario,
+        render_report,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            print(f"{name:16s} {scenario.description}")
+        return 0
+    scenario = get_scenario(args.scenario)
+    obs = _observer_from_args(args, "chaos")
+    report = run_scenario(
+        scenario, seed=args.seed, workdir=args.workdir, observer=obs
+    )
+    reports = [report]
+    if args.check_determinism:
+        again = run_scenario(scenario, seed=args.seed, observer=obs)
+        reports.append(again)
+    if args.json:
+        print(json.dumps(
+            [r.as_json() for r in reports], indent=2, sort_keys=True
+        ))
+    else:
+        for r in reports:
+            print(render_report(r))
+    code = 0 if all(r.ok for r in reports) else 1
+    if args.check_determinism:
+        fingerprints = {r.fingerprint for r in reports}
+        if len(fingerprints) > 1:
+            print(f"NON-DETERMINISTIC: fingerprints differ: "
+                  f"{sorted(fingerprints)}")
+            code = 1
+        else:
+            print(f"deterministic: {report.fingerprint[:16]} across "
+                  f"{len(reports)} runs")
+    _finish_observer(obs, code)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -761,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fuzz(subparsers)
     _add_report(subparsers)
     _add_serve(subparsers)
+    _add_chaos(subparsers)
     return parser
 
 

@@ -20,7 +20,11 @@
 * **service summary** — for ``repro serve`` traces: inference
   batch-size histogram with flush-trigger counts (the amortization
   evidence: forward passes vs requests), admission tallies, queue-wait
-  and request-wall percentiles, and response status counts.
+  and request-wall percentiles, and response status counts;
+* **resilience summary** — degraded responses, rejections by reason
+  (queue-full vs deadline sheds), deadline misses, breaker transitions,
+  tolerated journal-write errors, and — for ``repro chaos`` traces —
+  injected faults by injection point and per-scenario verdicts.
 
 Everything works from the files alone — no live process, no pickle —
 so traces from remote sweeps can be analysed anywhere.
@@ -68,6 +72,13 @@ def summarize_traces(
     serve_waits: List[float] = []
     serve_walls: List[float] = []
     serve_statuses: Dict[str, int] = {}
+    serve_degraded = 0
+    serve_deadline_missed = 0
+    reject_reasons: Dict[str, int] = {}
+    breaker_transitions: Dict[str, int] = {}
+    journal_errors = 0
+    chaos_faults: Dict[str, int] = {}
+    chaos_runs: List[Dict[str, Any]] = []
 
     for path in paths:
         events, file_errors = read_trace(path)
@@ -126,6 +137,10 @@ def summarize_traces(
                     serve_admitted += 1
                 else:
                     serve_rejected += 1
+                    reason = str(record.get("reason", "") or "unknown")
+                    reject_reasons[reason] = (
+                        reject_reasons.get(reason, 0) + 1
+                    )
             elif kind == "serve-batch":
                 serve_batches.append(int(record.get("size", 0)))
                 trigger = str(record.get("trigger", "?"))
@@ -140,6 +155,32 @@ def summarize_traces(
                     serve_waits.append(float(record["queue_wait_seconds"]))
                 if "wall_seconds" in record:
                     serve_walls.append(float(record["wall_seconds"]))
+                if record.get("degraded"):
+                    serve_degraded += 1
+                if record.get("deadline_missed"):
+                    serve_deadline_missed += 1
+            elif kind == "breaker-transition":
+                edge = (
+                    f"{record.get('from_state', '?')}->"
+                    f"{record.get('to_state', '?')}"
+                )
+                breaker_transitions[edge] = (
+                    breaker_transitions.get(edge, 0) + 1
+                )
+            elif kind == "journal-error":
+                journal_errors += 1
+            elif kind == "chaos-fault":
+                point = (
+                    f"{record.get('point', '?')}/{record.get('kind', '?')}"
+                )
+                chaos_faults[point] = chaos_faults.get(point, 0) + 1
+            elif kind == "chaos-end":
+                chaos_runs.append({
+                    "scenario": record.get("scenario", "?"),
+                    "ok": bool(record.get("ok")),
+                    "fingerprint": str(record.get("fingerprint", ""))[:16],
+                    "requests": int(record.get("requests", 0)),
+                })
             elif kind == "solve-end":
                 solves.append({
                     "status": record.get("status", ""),
@@ -202,6 +243,21 @@ def summarize_traces(
                 "p99": round(_percentile(serve_walls, 0.99), 6),
                 "max": round(serve_walls[-1], 6),
             }
+    resilience: Dict[str, Any] = {}
+    if (
+        serve_degraded or serve_deadline_missed or reject_reasons
+        or breaker_transitions or journal_errors or chaos_faults
+        or chaos_runs
+    ):
+        resilience = {
+            "degraded_responses": serve_degraded,
+            "deadline_missed": serve_deadline_missed,
+            "reject_reasons": dict(sorted(reject_reasons.items())),
+            "breaker_transitions": dict(sorted(breaker_transitions.items())),
+            "journal_errors": journal_errors,
+            "chaos_faults": dict(sorted(chaos_faults.items())),
+            "chaos_runs": chaos_runs,
+        }
     return {
         "files": [str(p) for p in paths],
         "runs": runs,
@@ -219,6 +275,7 @@ def summarize_traces(
         "metrics_by_run": metrics_by_run,
         "solves": solves,
         "service": service,
+        "resilience": resilience,
     }
 
 
@@ -374,6 +431,38 @@ def render_report(summary: Dict[str, Any]) -> str:
                 f"{name}={count}"
                 for name, count in service["statuses"].items()
             ))
+
+    resilience = summary.get("resilience") or {}
+    if resilience:
+        out.append("")
+        out.append("resilience summary:")
+        out.append(
+            f"  degraded responses={resilience['degraded_responses']} "
+            f"deadline misses={resilience['deadline_missed']} "
+            f"tolerated journal errors={resilience['journal_errors']}"
+        )
+        if resilience["reject_reasons"]:
+            out.append("  rejections by reason: " + "  ".join(
+                f"{name}={count}"
+                for name, count in resilience["reject_reasons"].items()
+            ))
+        if resilience["breaker_transitions"]:
+            out.append("  breaker transitions: " + "  ".join(
+                f"{edge}={count}"
+                for edge, count in resilience["breaker_transitions"].items()
+            ))
+        if resilience["chaos_faults"]:
+            out.append("  injected faults: " + "  ".join(
+                f"{point}={count}"
+                for point, count in resilience["chaos_faults"].items()
+            ))
+        for run in resilience["chaos_runs"]:
+            verdict = "OK" if run["ok"] else "FAILED"
+            out.append(
+                f"  chaos {run['scenario']}: {verdict} "
+                f"({run['requests']} requests, "
+                f"fingerprint {run['fingerprint']})"
+            )
 
     for solve in summary["solves"]:
         out.append("")

@@ -45,7 +45,7 @@ EVENT_TYPES = frozenset({
     # simplification (repro.simplify)
     "simplify-pass",
     # parallel execution (repro.parallel)
-    "task-start", "task-retry", "task-finish",
+    "task-start", "task-retry", "task-finish", "journal-error",
     # labelling (repro.selection.labeling)
     "label",
     # training (repro.selection.trainer)
@@ -57,6 +57,10 @@ EVENT_TYPES = frozenset({
     # solve service (repro.serve)
     "serve-start", "serve-request", "serve-batch", "serve-response",
     "serve-stop",
+    # resilience (repro.serve.resilience)
+    "breaker-transition",
+    # chaos harness (repro.chaos)
+    "chaos-start", "chaos-wave", "chaos-fault", "chaos-restart", "chaos-end",
     # generic timing span
     "span",
 })

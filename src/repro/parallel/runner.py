@@ -61,6 +61,13 @@ class SolveTask:
     max_decisions: Optional[int] = None
     #: Free-form caller label, carried through to the outcome.
     tag: str = ""
+    #: Per-task wall-clock budget, seconds — tightens (never loosens)
+    #: the runner-wide ``task_timeout`` for this one task.  The solve
+    #: service derives it from the request's remaining deadline.  NOT
+    #: part of the cache key: wall budgets depend on queue timing, not
+    #: on the problem, and a cached/journalled answer is valid however
+    #: long the original run was allowed to take.
+    wall_budget_seconds: Optional[float] = None
 
     def budgets(self) -> Dict[str, Optional[int]]:
         return {
@@ -282,6 +289,8 @@ class ParallelRunner:
             journal = RunJournal(journal)
         self.journal = journal
         self.fault_plan = fault_plan
+        #: Journal appends that failed (tolerated; see _journal_record).
+        self.journal_errors = 0
         self.last_stats = RunnerStats()
 
     @property
@@ -330,8 +339,14 @@ class ParallelRunner:
                 pending.append(index)
 
         observer = self.observer
+        # A per-task wall budget needs the supervisor's parent-side
+        # deadline policing, even when the runner itself is unsupervised.
+        needs_supervision = self.supervised or any(
+            getattr(tasks[index], "wall_budget_seconds", None) is not None
+            for index in pending
+        )
         if pending:
-            if not self.supervised and (self.workers == 1 or len(pending) == 1):
+            if not needs_supervision and (self.workers == 1 or len(pending) == 1):
                 for index in pending:
                     observer.event(
                         "task-start", index=index, attempt=1,
@@ -475,5 +490,22 @@ class ParallelRunner:
         )
 
     def _journal_record(self, key: str, outcome: SolveOutcome) -> None:
+        """Best-effort journal append: a failed write never loses a result.
+
+        The journal is a resumability optimization, not a correctness
+        dependency — the outcome is already in ``results`` and (when not
+        a failure) in the cross-run cache.  A full disk or yanked volume
+        therefore costs future resumability, counted in
+        ``journal_errors``, never the in-flight answer.
+        """
         if self.journal is not None and not outcome.resumed:
-            self.journal.record(key, outcome.as_payload())
+            try:
+                self.journal.record(key, outcome.as_payload())
+            except OSError as exc:
+                self.journal_errors += 1
+                if self.observer.tracing:
+                    self.observer.event(
+                        "journal-error",
+                        tag=outcome.tag,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )

@@ -253,6 +253,8 @@ class _Running:
     conn: multiprocessing.connection.Connection
     deadline: Optional[float]
     started: float = 0.0
+    #: Effective wall budget behind ``deadline`` (for the failure message).
+    wall_budget: Optional[float] = None
 
 
 @dataclass
@@ -338,13 +340,19 @@ class Supervisor:
             process.start()
             child_conn.close()  # parent keeps only the read end
             started = time.monotonic()
-            deadline = None
-            if self.budget.wall_seconds is not None:
-                deadline = started + self.budget.wall_seconds
+            # Per-task wall budgets (deadline propagation from the solve
+            # service) tighten the supervisor-wide budget, never loosen it.
+            wall = self.budget.wall_seconds
+            task_wall = getattr(
+                tasks[item.index], "wall_budget_seconds", None
+            )
+            if task_wall is not None:
+                wall = task_wall if wall is None else min(wall, task_wall)
+            deadline = None if wall is None else started + wall
             running[item.index] = _Running(
                 index=item.index, attempt=item.attempt,
                 process=process, conn=parent_conn, deadline=deadline,
-                started=started,
+                started=started, wall_budget=wall,
             )
             if self.on_start is not None:
                 self.on_start(item.index, item.attempt)
@@ -431,7 +439,7 @@ class Supervisor:
             del running[slot.index]
             failure = TaskFailure(
                 Status.TIMEOUT,
-                f"wall-clock budget ({self.budget.wall_seconds:.3g}s) exceeded",
+                f"wall-clock budget ({slot.wall_budget:.3g}s) exceeded",
                 wall_seconds=self._elapsed(slot),
             )
             self._fail_or_retry(slot, failure, queue, on_complete)

@@ -7,7 +7,11 @@ inference into batched HGT forward passes
 supervised :class:`~repro.parallel.runner.ParallelRunner` with the
 journal providing restart survival.  :class:`~repro.serve.http.HttpFrontDoor`
 exposes it as JSON over HTTP on localhost (``repro serve``), and
-:class:`ServeClient` is the matching asyncio client.
+:class:`ServeClient` is the matching asyncio client (with optional
+capped-backoff retry).  :mod:`repro.serve.resilience` adds the opt-in
+resilience layer: a :class:`CircuitBreaker` guarding the inference
+path and per-request deadline propagation; :mod:`repro.chaos` is the
+fault-injection harness that continuously verifies it.
 
 See ``docs/serving.md`` for the architecture, request lifecycle, and a
 curl-able quickstart.
@@ -17,6 +21,7 @@ from repro.serve.batcher import InferenceBatcher, PolicyChoice
 from repro.serve.client import ServeClient, ServeReply
 from repro.serve.http import HttpFrontDoor, bound_address, start_service
 from repro.serve.protocol import (
+    HTTP_NOT_ACCEPTING,
     HTTP_QUEUE_FULL,
     STATUS_HTTP,
     AdmissionError,
@@ -24,10 +29,19 @@ from repro.serve.protocol import (
     ServeRequest,
     http_code_for,
 )
+from repro.serve.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
 from repro.serve.service import ServeConfig, SolveService
 
 __all__ = [
     "AdmissionError",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "HTTP_NOT_ACCEPTING",
     "HTTP_QUEUE_FULL",
     "HttpFrontDoor",
     "InferenceBatcher",

@@ -26,6 +26,15 @@ fall back to the default policy, exactly like
 :class:`~repro.selection.selector.NeuroSelectSolver` (the paper's
 >400k-node handling).
 
+**Failure contract**: the forward pass has no soundness obligation
+(both candidate policies are correct), so nothing it can do — raise,
+stall past ``inference_timeout``, or be short-circuited by an open
+:class:`~repro.serve.resilience.CircuitBreaker` — is allowed to lose a
+request.  Every live member of a failed batch resolves to a
+default-policy :class:`PolicyChoice` tagged ``degraded=True``, and the
+flush loop itself is exception-proof: a bug anywhere in the flush path
+still resolves every member rather than wedging the queue.
+
 Instrumentation: each forward pass increments
 ``serve.inference_passes`` and records the number of coalesced requests
 in the ``serve.batch_size`` histogram — the amortization claim is
@@ -61,6 +70,9 @@ class PolicyChoice:
     trigger: str              # "size" | "deadline" | "drain"
     inference_seconds: float  # forward-pass cost of the whole batch
     queue_wait_seconds: float  # submit -> flush wait for this request
+    #: True when this request *would* have used the model but inference
+    #: was bypassed (open breaker) or failed (raise / timeout).
+    degraded: bool = False
 
 
 class _Pending:
@@ -94,12 +106,16 @@ class InferenceBatcher:
         flush_window: float = 0.05,
         max_nodes: int = DEFAULT_MAX_NODES,
         threshold: Optional[float] = None,
+        breaker=None,
+        inference_timeout: Optional[float] = None,
         observer: Observer = NULL_OBSERVER,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if flush_window < 0:
             raise ValueError("flush_window must be >= 0")
+        if inference_timeout is not None and inference_timeout <= 0:
+            raise ValueError("inference_timeout must be positive")
         self.model = model
         self.max_batch = max_batch
         self.flush_window = flush_window
@@ -107,11 +123,23 @@ class InferenceBatcher:
         if threshold is None:
             threshold = getattr(model, "decision_threshold", 0.5)
         self.threshold = threshold
+        #: Optional :class:`~repro.serve.resilience.CircuitBreaker`
+        #: guarding the forward pass (None: no guard, zero overhead).
+        self.breaker = breaker
+        #: Hard cap on one forward pass, seconds.  A pass past it is a
+        #: failure: the batch degrades to the default policy (the
+        #: orphaned executor thread finishes into the void; the breaker
+        #: is what prevents such threads piling up).
+        self.inference_timeout = inference_timeout
         self.observer = observer
         #: Forward passes performed (one per non-empty eligible batch).
         self.passes = 0
         #: Requests that received a choice (incl. node-cap fallbacks).
         self.served = 0
+        #: Forward passes that raised or timed out.
+        self.failures = 0
+        #: Requests resolved with a degraded (fallback) choice.
+        self.degraded = 0
         self._queue: "asyncio.Queue[object]" = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self._passes_counter = observer.counter("serve.inference_passes")
@@ -190,7 +218,7 @@ class InferenceBatcher:
                     break
                 batch.append(item)
             trigger = "size" if len(batch) >= self.max_batch else "deadline"
-            await self._flush(batch, trigger)
+            await self._safe_flush(batch, trigger)
             if stopping:
                 await self._drain()
                 break
@@ -207,7 +235,56 @@ class InferenceBatcher:
                 residue[: self.max_batch],
                 residue[self.max_batch:],
             )
-            await self._flush(chunk, "drain")
+            await self._safe_flush(chunk, "drain")
+
+    async def _safe_flush(self, batch: List[_Pending], trigger: str) -> None:
+        """Flush with a last-resort net: a bug never wedges the queue.
+
+        ``_flush`` already converts every *expected* failure (raising
+        or slow forward pass, open breaker) into degraded fallback
+        choices.  This wrapper covers the unexpected: if the flush path
+        itself raises, every still-pending member is resolved with a
+        degraded default choice instead of hanging its submitter and
+        killing the loop task.
+        """
+        try:
+            await self._flush(batch, trigger)
+        except Exception:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_result(
+                        self._fallback_choice(
+                            batch_size=len(batch),
+                            trigger=trigger,
+                            queue_wait=time.perf_counter()
+                            - pending.enqueued,
+                            degraded=self.model is not None,
+                        )
+                    )
+                    self.served += 1
+
+    def _fallback_choice(
+        self,
+        batch_size: int,
+        trigger: str,
+        queue_wait: float,
+        degraded: bool,
+        inference_seconds: float = 0.0,
+    ) -> PolicyChoice:
+        """Default-policy choice for a request that skipped inference."""
+        if degraded:
+            self.degraded += 1
+        return PolicyChoice(
+            label=0,
+            policy=LABEL_TO_POLICY[0],
+            probability=None,
+            used_model=False,
+            batch_size=batch_size,
+            trigger=trigger,
+            inference_seconds=inference_seconds,
+            queue_wait_seconds=queue_wait,
+            degraded=degraded,
+        )
 
     async def _flush(self, batch: List[_Pending], trigger: str) -> None:
         """Classify one batch and resolve every live member's future."""
@@ -219,22 +296,33 @@ class InferenceBatcher:
                 pending.on_flush()
         loop = asyncio.get_running_loop()
         flushed_at = time.perf_counter()
-        # Graph construction is numpy-heavy; keep it off the event loop.
-        graphs = await loop.run_in_executor(
-            None, lambda: [BipartiteGraph(p.cnf) for p in live]
-        )
+        degraded_reason = ""
+        graphs: Optional[List[BipartiteGraph]] = None
+        if self.model is not None:
+            try:
+                # Graph construction is numpy-heavy; keep it off the
+                # event loop.
+                graphs = await loop.run_in_executor(
+                    None, lambda: [BipartiteGraph(p.cnf) for p in live]
+                )
+            except Exception as exc:
+                degraded_reason = (
+                    f"graph-construction: {type(exc).__name__}: {exc}"
+                )
         eligible = (
             [
                 i
                 for i, g in enumerate(graphs)
                 if g.num_nodes <= self.max_nodes
             ]
-            if self.model is not None
+            if graphs is not None
             else []
         )
+        if eligible and self.breaker is not None and not self.breaker.allow():
+            degraded_reason = "breaker-open"
         inference_seconds = 0.0
         probabilities: dict = {}
-        if eligible:
+        if eligible and not degraded_reason:
             member_graphs = [graphs[i] for i in eligible]
 
             def _forward() -> List[float]:
@@ -243,36 +331,85 @@ class InferenceBatcher:
                 )
 
             start = time.perf_counter()
-            values = await loop.run_in_executor(None, _forward)
-            inference_seconds = time.perf_counter() - start
-            probabilities = dict(zip(eligible, values))
-            self.passes += 1
-            self._passes_counter.inc()
-            self._batch_hist.observe(len(live))
+            try:
+                forward = loop.run_in_executor(None, _forward)
+                if self.inference_timeout is not None:
+                    values = await asyncio.wait_for(
+                        forward, self.inference_timeout
+                    )
+                else:
+                    values = await forward
+            except asyncio.TimeoutError:
+                inference_seconds = time.perf_counter() - start
+                degraded_reason = (
+                    f"inference-timeout ({self.inference_timeout:.3g}s)"
+                )
+                self.failures += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure(
+                        inference_seconds, reason="timeout"
+                    )
+            except Exception as exc:
+                inference_seconds = time.perf_counter() - start
+                degraded_reason = (
+                    f"inference-error: {type(exc).__name__}: {exc}"
+                )
+                self.failures += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure(
+                        inference_seconds, reason=f"{type(exc).__name__}"
+                    )
+            else:
+                inference_seconds = time.perf_counter() - start
+                probabilities = dict(zip(eligible, values))
+                self.passes += 1
+                self._passes_counter.inc()
+                self._batch_hist.observe(len(live))
+                if self.breaker is not None:
+                    self.breaker.record_success(inference_seconds)
+        # Members that would have gone through the model but could not
+        # (failed pass, open breaker, failed graph build) are *degraded*;
+        # node-cap fallbacks with a healthy pipeline are not — skipping
+        # oversized graphs is the paper's intended behaviour.
+        eligible_set = set(eligible)
+        degraded_members = 0
         for index, pending in enumerate(live):
             probability = probabilities.get(index)
             if probability is None:
-                label, used_model = 0, False
+                degraded = bool(degraded_reason) and (
+                    index in eligible_set or graphs is None
+                ) and self.model is not None
+                if degraded:
+                    degraded_members += 1
+                choice = self._fallback_choice(
+                    batch_size=len(live),
+                    trigger=trigger,
+                    queue_wait=flushed_at - pending.enqueued,
+                    degraded=degraded,
+                    inference_seconds=inference_seconds,
+                )
             else:
                 label = int(probability >= self.threshold)
-                used_model = True
-            choice = PolicyChoice(
-                label=label,
-                policy=LABEL_TO_POLICY[label],
-                probability=probability,
-                used_model=used_model,
-                batch_size=len(live),
-                trigger=trigger,
-                inference_seconds=inference_seconds,
-                queue_wait_seconds=flushed_at - pending.enqueued,
-            )
+                choice = PolicyChoice(
+                    label=label,
+                    policy=LABEL_TO_POLICY[label],
+                    probability=probability,
+                    used_model=True,
+                    batch_size=len(live),
+                    trigger=trigger,
+                    inference_seconds=inference_seconds,
+                    queue_wait_seconds=flushed_at - pending.enqueued,
+                )
             if not pending.future.done():
                 pending.future.set_result(choice)
                 self.served += 1
-        self.observer.event(
-            "serve-batch",
+        event_fields = dict(
             size=len(live),
             eligible=len(eligible),
             trigger=trigger,
             inference_seconds=round(inference_seconds, 6),
         )
+        if degraded_reason:
+            event_fields["degraded"] = degraded_members
+            event_fields["reason"] = degraded_reason
+        self.observer.event("serve-batch", **event_fields)

@@ -13,29 +13,50 @@ anything that speaks HTTP (``curl``, ``urllib``) works equally well.
 
 ``solve(wait=True)`` holds the connection until the result is ready;
 the HTTP status carries the failure taxonomy (200 decided/UNKNOWN,
-504 TIMEOUT, 507 MEMOUT, 500 ERROR, 429 queue full).  ``wait=False``
-returns the 202 ticket immediately — poll with :meth:`status` or
-follow the lifecycle with :meth:`stream`.
+504 TIMEOUT, 507 MEMOUT, 500 ERROR, 429 queue full / deadline shed,
+503 draining).  ``wait=False`` returns the 202 ticket immediately —
+poll with :meth:`status` or follow the lifecycle with :meth:`stream`.
+
+Retry: :meth:`solve` retries 429 responses and connection resets with
+capped exponential backoff plus deterministic seeded jitter, honoring
+the server's ``Retry-After`` hint when it exceeds the computed delay.
+Retrying a solve is idempotent by construction — the service's journal
+answers a repeated (formula, policy, budget) triple from disk, so a
+retried request costs a lookup, not a re-solve.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Dict, Optional
 
 
 @dataclass
 class ServeReply:
-    """One HTTP exchange: taxonomy code plus the decoded JSON body."""
+    """One HTTP exchange: taxonomy code, decoded body, response headers."""
 
     code: int
     json: Any
+    #: Response headers, lower-cased keys (``retry-after`` et al.).
+    headers: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return 200 <= self.code < 300
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Parsed ``Retry-After`` header, seconds (None when absent)."""
+        value = self.headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except ValueError:
+            return None
 
 
 async def _read_response(reader: asyncio.StreamReader) -> ServeReply:
@@ -51,15 +72,59 @@ async def _read_response(reader: asyncio.StreamReader) -> ServeReply:
         body = await reader.readexactly(int(headers["content-length"]))
     else:
         body = await reader.read()  # Connection: close delimits the body
-    return ServeReply(code=code, json=json.loads(body) if body else None)
+    return ServeReply(
+        code=code,
+        json=json.loads(body) if body else None,
+        headers=headers,
+    )
+
+
+#: Exceptions treated as a retryable transport failure.
+_RETRYABLE_ERRORS = (
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    OSError,
+)
 
 
 class ServeClient:
-    """Talks to one ``repro serve`` instance at ``host:port``."""
+    """Talks to one ``repro serve`` instance at ``host:port``.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8123):
+    ``max_retries=0`` (the default) keeps the pre-retry behaviour: one
+    attempt, errors propagate.  With retries enabled, the backoff for
+    failure ``k`` (1-based) is
+    ``min(backoff_seconds * multiplier**(k-1), max_backoff_seconds)``,
+    raised to the server's ``Retry-After`` when larger, then jittered
+    by ``±jitter`` (relative) from a seeded RNG — deterministic per
+    client instance, so tests never sleep on randomness.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8123,
+        *,
+        max_retries: int = 0,
+        backoff_seconds: float = 0.25,
+        multiplier: float = 2.0,
+        max_backoff_seconds: float = 5.0,
+        jitter: float = 0.1,
+        retry_seed: int = 0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
         self.host = host
         self.port = port
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.multiplier = multiplier
+        self.max_backoff_seconds = max_backoff_seconds
+        self.jitter = jitter
+        self._rng = random.Random(retry_seed)
+        #: Retries actually performed (introspection for tests/metrics).
+        self.retries = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -100,17 +165,54 @@ class ServeClient:
 
     # -- endpoints ---------------------------------------------------------
 
+    def _retry_delay(
+        self, failures: int, retry_after: Optional[float]
+    ) -> float:
+        """Backoff before the next attempt, after ``failures`` failures."""
+        raw = self.backoff_seconds * (
+            self.multiplier ** max(failures - 1, 0)
+        )
+        delay = min(raw, self.max_backoff_seconds)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return delay
+
     async def solve(
         self,
         dimacs: str,
         max_conflicts: Optional[int] = None,
         wait: bool = True,
+        deadline: Optional[float] = None,
     ) -> ServeReply:
-        """Submit one DIMACS formula; see the module docs for ``wait``."""
+        """Submit one DIMACS formula; see the module docs for ``wait``.
+
+        ``deadline`` (seconds) is forwarded to the service's admission
+        control and budget clamping.  With ``max_retries > 0``, 429
+        responses and connection failures are retried (see the class
+        docs); the final attempt's response or error surfaces as-is.
+        """
         payload: Dict[str, Any] = {"dimacs": dimacs, "wait": wait}
         if max_conflicts is not None:
             payload["max_conflicts"] = max_conflicts
-        return await self._call("POST", "/solve", payload)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        failures = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                reply = await self._call("POST", "/solve", payload)
+            except _RETRYABLE_ERRORS:
+                if failures >= self.max_retries:
+                    raise
+            else:
+                if reply.code != 429 or failures >= self.max_retries:
+                    return reply
+                retry_after = reply.retry_after
+            failures += 1
+            self.retries += 1
+            await asyncio.sleep(self._retry_delay(failures, retry_after))
 
     async def status(self, job_id: str) -> ServeReply:
         """Snapshot of one job (404 when it aged out of the history)."""

@@ -5,15 +5,18 @@ no web framework, one connection per request (``Connection: close``),
 JSON bodies.  Endpoints:
 
 ``POST /solve``
-    Body ``{"dimacs": "...", "max_conflicts": N?, "wait": true?}``.
-    With ``wait`` (the default) the connection is held until the solve
-    finishes and the response carries the full result under the
-    failure-taxonomy status code (200 / 504 / 507 / 500 — see
-    :mod:`repro.serve.protocol`).  With ``"wait": false`` the request
-    is accepted and ``202 {"id": ...}`` returns immediately.  A full
-    queue is ``429`` with ``Retry-After``.  Closing the connection
-    while waiting cancels the request — it is dropped from its
-    inference batch and never reaches a solver.
+    Body ``{"dimacs": "...", "max_conflicts": N?, "deadline": S?,
+    "wait": true?}``.  With ``wait`` (the default) the connection is
+    held until the solve finishes and the response carries the full
+    result under the failure-taxonomy status code (200 / 504 / 507 /
+    500 — see :mod:`repro.serve.protocol`).  With ``"wait": false``
+    the request is accepted and ``202 {"id": ...}`` returns
+    immediately.  ``deadline`` (seconds) is the client's end-to-end
+    budget: an infeasible one is shed at admission.  A full queue or a
+    shed deadline is ``429``, a draining service ``503`` — both with a
+    ``Retry-After`` hint.  Closing the connection while waiting
+    cancels the request — it is dropped from its inference batch and
+    never reaches a solver.
 
 ``GET /jobs/<id>``
     Current request snapshot (``200``), or ``404``.
@@ -57,6 +60,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
     507: "Insufficient Storage",
 }
@@ -225,6 +229,9 @@ class HttpFrontDoor:
             max_conflicts = payload.get("max_conflicts")
             if max_conflicts is not None:
                 max_conflicts = int(max_conflicts)
+            deadline = payload.get("deadline")
+            if deadline is not None:
+                deadline = float(deadline)
             wait = bool(payload.get("wait", True))
         except KeyError as exc:
             await _send_json(
@@ -237,13 +244,16 @@ class HttpFrontDoor:
             )
             return
         try:
-            request = self.service.submit(cnf, max_conflicts=max_conflicts)
+            request = self.service.submit(
+                cnf, max_conflicts=max_conflicts, deadline_seconds=deadline
+            )
         except AdmissionError as exc:
+            retry_after = getattr(exc, "retry_after", 1.0)
             await _send_json(
                 writer,
                 exc.http_code,
-                {"error": str(exc)},
-                extra={"Retry-After": "1"},
+                {"error": str(exc), "reason": getattr(exc, "reason", "")},
+                extra={"Retry-After": f"{retry_after:g}"},
             )
             return
         if not wait:

@@ -23,7 +23,10 @@ MEMOUT           507  per-request memory budget exceeded
 ERROR            500  worker crashed; ``error`` holds the detail
 ==============  ====  =============================================
 
-Admission rejections (queue full) are 429 and never become requests.
+Admission rejections never become requests: a full queue — or a
+deadline the queue wait already makes infeasible — is 429 with a
+``Retry-After`` hint; a draining service is 503 (retrying elsewhere or
+later is correct, retrying immediately is not).
 """
 
 from __future__ import annotations
@@ -64,8 +67,12 @@ STATUS_HTTP: Dict[Status, int] = {
     Status.ERROR: 500,
 }
 
-#: Admission-control rejection (queue depth cap reached).
+#: Admission-control rejection (queue depth cap reached, or the request's
+#: deadline is already infeasible).  Retryable; carries ``Retry-After``.
 HTTP_QUEUE_FULL = 429
+
+#: The service is draining (graceful shutdown): no new requests.
+HTTP_NOT_ACCEPTING = 503
 
 
 def http_code_for(status: Status) -> int:
@@ -92,11 +99,19 @@ class ServeRequest:
     id: str = field(default_factory=new_request_id)
     state: RequestState = RequestState.QUEUED
     submitted: float = field(default_factory=time.perf_counter)
+    #: Client end-to-end deadline, seconds from admission (None: none).
+    deadline_seconds: Optional[float] = None
+    #: ``perf_counter`` instant the deadline expires (derived at admission).
+    deadline_at: Optional[float] = None
     # -- filled in by the inference batch --------------------------------
     label: Optional[int] = None
     policy: str = ""
     probability: Optional[float] = None
     used_model: bool = False
+    #: True when inference was bypassed by the circuit breaker or a
+    #: failed/timed-out forward pass — the answer is still correct (the
+    #: default policy is sound), only selection quality degraded.
+    degraded: bool = False
     batch_size: int = 0
     queue_wait_seconds: float = 0.0
     # -- filled in at completion -----------------------------------------
@@ -120,11 +135,14 @@ class ServeRequest:
             "state": self.state.value,
             "max_conflicts": self.max_conflicts,
         }
+        if self.deadline_seconds is not None:
+            record["deadline_seconds"] = self.deadline_seconds
         if self.label is not None:
             record["label"] = self.label
             record["policy"] = self.policy
             record["probability"] = self.probability
             record["used_model"] = self.used_model
+            record["degraded"] = self.degraded
             record["batch_size"] = self.batch_size
         if self.outcome is not None:
             record["status"] = self.outcome.status.value
@@ -135,6 +153,10 @@ class ServeRequest:
             record["resumed"] = self.outcome.resumed
             record["wall_seconds"] = round(self.wall_seconds, 6)
             record["queue_wait_seconds"] = round(self.queue_wait_seconds, 6)
+            if self.deadline_seconds is not None:
+                record["deadline_missed"] = (
+                    self.wall_seconds > self.deadline_seconds
+                )
             if self.outcome.error:
                 record["error"] = self.outcome.error
         return record
@@ -151,6 +173,23 @@ class ServeRequest:
 
 
 class AdmissionError(Exception):
-    """Request rejected at the front door (queue depth cap reached)."""
+    """Request rejected at the front door, never admitted.
 
-    http_code = HTTP_QUEUE_FULL
+    ``http_code`` distinguishes the retryable cases (429: queue full or
+    deadline infeasible, with a ``retry_after`` hint in seconds) from
+    the draining service (503).  ``reason`` is a stable machine-readable
+    tag (``queue-full`` / ``deadline-infeasible`` / ``not-accepting``)
+    carried into the ``serve-request`` trace event.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        http_code: int = HTTP_QUEUE_FULL,
+        retry_after: float = 1.0,
+        reason: str = "queue-full",
+    ):
+        super().__init__(message)
+        self.http_code = http_code
+        self.retry_after = retry_after
+        self.reason = reason

@@ -12,7 +12,9 @@ job-runner systems:
 
 * the **front door** (:meth:`submit`) applies admission control — a hard
   queue-depth cap (reject with 429 rather than building unbounded
-  backlog) and per-request conflict budgets clamped to a service cap;
+  backlog), per-request conflict budgets clamped to a service cap, and
+  deadline shedding: a client deadline the smoothed queue wait already
+  makes infeasible is refused up front with a ``Retry-After`` hint;
 * the :class:`~repro.serve.batcher.InferenceBatcher` coalesces queued
   requests into one batched HGT forward pass (size- or deadline-
   triggered), amortizing selection cost across concurrent traffic;
@@ -28,8 +30,15 @@ Restart survival comes from the journal: a service restarted with the
 same journal path answers already-completed (formula, policy, budget)
 triples from disk without re-solving — the same ``--resume`` contract
 sweeps rely on.  Graceful shutdown (``stop(drain=True)``) stops
-admissions, then drains both queues to empty before exiting, so an
-orderly restart loses nothing at all.
+admissions (new submissions get 503), then drains both queues to empty
+before exiting, so an orderly restart loses nothing at all.
+
+Resilience (all opt-in via :class:`ServeConfig`; see
+:mod:`repro.serve.resilience` and ``docs/serving.md``): a circuit
+breaker over the inference path serves default-policy answers tagged
+``degraded`` while the model is sick, and per-request deadlines are
+propagated into the conflict and supervisor wall budgets so no worker
+outlives its request.
 """
 
 from __future__ import annotations
@@ -47,11 +56,18 @@ from repro.parallel.runner import ParallelRunner, SolveOutcome, SolveTask
 from repro.selection.dataset import DEFAULT_MAX_NODES
 from repro.serve.batcher import InferenceBatcher
 from repro.serve.protocol import (
+    HTTP_NOT_ACCEPTING,
     AdmissionError,
     RequestState,
     ServeRequest,
 )
+from repro.serve.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    clamp_conflicts_to_deadline,
+)
 from repro.solver.solver import SolverConfig
+from repro.solver.types import Status
 
 
 @dataclass
@@ -76,6 +92,14 @@ class ServeConfig:
     journal: Optional[str] = None  # restart-survival ledger
     #: Terminal requests kept queryable via ``GET /jobs/<id>``.
     history_limit: int = 1024
+    # -- resilience (all off by default: zero overhead) -------------------
+    #: Circuit breaker over the inference path (None: unguarded).
+    breaker: Optional[BreakerConfig] = None
+    #: Hard cap on one batched forward pass, seconds (None: uncapped).
+    inference_timeout: Optional[float] = None
+    #: Calibration rate turning a request's remaining deadline into an
+    #: affordable conflict budget (see resilience module docs).
+    conflicts_per_second: float = 25_000.0
 
 
 _STOP = object()
@@ -94,12 +118,19 @@ class SolveService:
         self.model = model
         self.observer = observer
         cfg = self.config
+        self.breaker = (
+            CircuitBreaker(cfg.breaker, observer=observer)
+            if cfg.breaker is not None
+            else None
+        )
         self.batcher = InferenceBatcher(
             model,
             max_batch=cfg.max_batch,
             flush_window=cfg.flush_window,
             max_nodes=cfg.max_nodes,
             threshold=cfg.threshold,
+            breaker=self.breaker,
+            inference_timeout=cfg.inference_timeout,
             observer=observer,
         )
         self.runner = ParallelRunner(
@@ -119,6 +150,12 @@ class SolveService:
         self.total_responses = 0
         self.total_rejected = 0
         self.total_cancelled = 0
+        self.total_degraded = 0
+        self.total_shed = 0
+        self.total_deadline_missed = 0
+        # Smoothed submit->flush wait, the admission-time feasibility
+        # estimate for deadline shedding (None until the first response).
+        self._wait_ewma: Optional[float] = None
         self._tasks: Dict[str, asyncio.Task] = {}
         self._terminal_order: Deque[str] = deque()
         self._solve_queue: "asyncio.Queue[object]" = asyncio.Queue()
@@ -134,6 +171,11 @@ class SolveService:
         )
         self._wait_hist = observer.histogram(
             "serve.queue_wait_seconds", TIME_BUCKETS
+        )
+        self._degraded_counter = observer.counter("serve.degraded")
+        self._shed_counter = observer.counter("serve.shed")
+        self._deadline_miss_hist = observer.histogram(
+            "serve.deadline_miss_seconds", TIME_BUCKETS
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -174,6 +216,8 @@ class SolveService:
             responses=self.total_responses,
             rejected=self.total_rejected,
             cancelled=self.total_cancelled,
+            degraded=self.total_degraded,
+            shed=self.total_shed,
         )
         self.observer.flush()
 
@@ -187,43 +231,77 @@ class SolveService:
     # -- front door --------------------------------------------------------
 
     def submit(
-        self, cnf: CNF, max_conflicts: Optional[int] = None
+        self,
+        cnf: CNF,
+        max_conflicts: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> ServeRequest:
         """Admit one solve request, or raise :class:`AdmissionError`.
 
         Budgets: a request naming no conflict budget gets
         ``default_max_conflicts``; every budget is clamped to
         ``max_conflicts_cap``.  The wall-clock budget is the service's
-        ``task_timeout``, enforced by the supervisor per attempt.
+        ``task_timeout``, enforced by the supervisor per attempt —
+        further clamped by ``deadline_seconds`` when the client set one,
+        so no worker outlives its request.
+
+        A deadline the current queue wait already makes infeasible is
+        *shed* here (429 with ``retry_after``) rather than admitted to
+        time out — the client learns immediately, and the queue carries
+        only requests that can still be answered in time.
         """
         depth = self.active
-        if not self.accepting or depth >= self.config.max_queue_depth:
-            self.total_rejected += 1
-            self._rejected_counter.inc()
-            self.observer.event(
-                "serve-request",
-                admitted=False,
-                queue_depth=depth,
-                accepting=self.accepting,
+        if not self.accepting:
+            self._reject(
+                depth, "not-accepting",
+                AdmissionError(
+                    "service is not accepting requests",
+                    http_code=HTTP_NOT_ACCEPTING,
+                    retry_after=5.0,
+                    reason="not-accepting",
+                ),
             )
-            if not self.accepting:
-                raise AdmissionError("service is not accepting requests")
-            raise AdmissionError(
-                f"queue full ({depth}/{self.config.max_queue_depth})"
+        if depth >= self.config.max_queue_depth:
+            self._reject(
+                depth, "queue-full",
+                AdmissionError(
+                    f"queue full ({depth}/{self.config.max_queue_depth})",
+                    retry_after=1.0,
+                    reason="queue-full",
+                ),
             )
+        if deadline_seconds is not None:
+            estimate = self._wait_ewma or 0.0
+            if deadline_seconds <= 0 or estimate >= deadline_seconds:
+                self.total_shed += 1
+                self._shed_counter.inc()
+                self._reject(
+                    depth, "deadline-infeasible",
+                    AdmissionError(
+                        f"deadline {deadline_seconds:.3g}s infeasible "
+                        f"(estimated queue wait {estimate:.3g}s)",
+                        retry_after=max(1.0, round(estimate, 1)),
+                        reason="deadline-infeasible",
+                    ),
+                )
         budget = (
             self.config.default_max_conflicts
             if max_conflicts is None
             else max_conflicts
         )
         budget = max(1, min(budget, self.config.max_conflicts_cap))
-        request = ServeRequest(cnf=cnf, max_conflicts=budget)
+        request = ServeRequest(
+            cnf=cnf,
+            max_conflicts=budget,
+            deadline_seconds=deadline_seconds,
+        )
+        if deadline_seconds is not None:
+            request.deadline_at = request.submitted + deadline_seconds
         self.requests[request.id] = request
         self.total_requests += 1
         self._requests_counter.inc()
         self._depth_gauge.set(depth + 1)
-        self.observer.event(
-            "serve-request",
+        fields: Dict[str, object] = dict(
             admitted=True,
             id=request.id,
             queue_depth=depth + 1,
@@ -231,8 +309,26 @@ class SolveService:
             num_clauses=cnf.num_clauses,
             max_conflicts=budget,
         )
+        if deadline_seconds is not None:
+            fields["deadline_seconds"] = deadline_seconds
+        self.observer.event("serve-request", **fields)
         self._tasks[request.id] = asyncio.create_task(self._run(request))
         return request
+
+    def _reject(
+        self, depth: int, reason: str, error: AdmissionError
+    ) -> None:
+        """Count, trace, and raise one admission rejection."""
+        self.total_rejected += 1
+        self._rejected_counter.inc()
+        self.observer.event(
+            "serve-request",
+            admitted=False,
+            queue_depth=depth,
+            accepting=self.accepting,
+            reason=reason,
+        )
+        raise error
 
     def get(self, request_id: str) -> Optional[ServeRequest]:
         """Look up a live or recently terminal request."""
@@ -267,30 +363,35 @@ class SolveService:
             request.policy = choice.policy
             request.probability = choice.probability
             request.used_model = choice.used_model
+            request.degraded = choice.degraded
             request.batch_size = choice.batch_size
             request.queue_wait_seconds = choice.queue_wait_seconds
             self._wait_hist.observe(choice.queue_wait_seconds)
-            request.transition(RequestState.SOLVING)
-            outcome = await self._dispatch_solve(request)
-            request.outcome = outcome
-            request.wall_seconds = time.perf_counter() - request.submitted
-            self._wall_hist.observe(request.wall_seconds)
-            self.total_responses += 1
-            self._responses_counter.inc()
-            request.transition(RequestState.DONE)
-            self.observer.event(
-                "serve-response",
-                id=request.id,
-                status=outcome.status.value,
-                code=request.http_code(),
-                policy=request.policy,
-                label=request.label,
-                batch_size=request.batch_size,
-                cached=outcome.cached,
-                resumed=outcome.resumed,
-                wall_seconds=round(request.wall_seconds, 6),
-                queue_wait_seconds=round(request.queue_wait_seconds, 6),
+            wait = choice.queue_wait_seconds
+            self._wait_ewma = (
+                wait
+                if self._wait_ewma is None
+                else 0.8 * self._wait_ewma + 0.2 * wait
             )
+            if choice.degraded:
+                self.total_degraded += 1
+                self._degraded_counter.inc()
+            request.transition(RequestState.SOLVING)
+            if (
+                request.deadline_at is not None
+                and time.perf_counter() >= request.deadline_at
+            ):
+                # Already too late: spend nothing further on it.
+                outcome = SolveOutcome.from_failure(
+                    self._task_for(request),
+                    Status.TIMEOUT,
+                    f"deadline ({request.deadline_seconds:.3g}s) expired "
+                    "before solving began",
+                    attempts=0,
+                )
+            else:
+                outcome = await self._dispatch_solve(request)
+            self._complete(request, outcome)
         except asyncio.CancelledError:
             self.total_cancelled += 1
             self._cancelled_counter.inc()
@@ -305,9 +406,59 @@ class SolveService:
                 ),
             )
             raise
+        except Exception as exc:  # noqa: BLE001 - terminal, never a hang
+            # A pipeline bug must still produce a terminal response:
+            # watchers and held connections are waiting on `done`.
+            if not request.state.terminal:
+                self._complete(
+                    request,
+                    SolveOutcome.from_failure(
+                        self._task_for(request),
+                        Status.ERROR,
+                        f"service pipeline error: "
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=1,
+                    ),
+                )
         finally:
             self._depth_gauge.set(self.active)
             self._retire(request)
+
+    def _complete(self, request: ServeRequest, outcome: SolveOutcome) -> None:
+        """Record one terminal outcome and emit its response event."""
+        request.outcome = outcome
+        request.wall_seconds = time.perf_counter() - request.submitted
+        self._wall_hist.observe(request.wall_seconds)
+        deadline_missed = False
+        if (
+            request.deadline_seconds is not None
+            and request.wall_seconds > request.deadline_seconds
+        ):
+            deadline_missed = True
+            self.total_deadline_missed += 1
+            self._deadline_miss_hist.observe(
+                request.wall_seconds - request.deadline_seconds
+            )
+        self.total_responses += 1
+        self._responses_counter.inc()
+        request.transition(RequestState.DONE)
+        fields: Dict[str, object] = dict(
+            id=request.id,
+            status=outcome.status.value,
+            code=request.http_code(),
+            policy=request.policy,
+            label=request.label,
+            batch_size=request.batch_size,
+            cached=outcome.cached,
+            resumed=outcome.resumed,
+            wall_seconds=round(request.wall_seconds, 6),
+            queue_wait_seconds=round(request.queue_wait_seconds, 6),
+        )
+        if request.degraded:
+            fields["degraded"] = True
+        if deadline_missed:
+            fields["deadline_missed"] = True
+        self.observer.event("serve-response", **fields)
 
     def _retire(self, request: ServeRequest) -> None:
         """Bound the terminal-request history at ``history_limit``."""
@@ -325,12 +476,37 @@ class SolveService:
         return await future
 
     def _task_for(self, request: ServeRequest) -> SolveTask:
+        """Build the solve task, deadline-clamped at build time.
+
+        The remaining deadline (measured *now*, after queueing and
+        inference already spent part of it) clamps both budgets: the
+        conflict budget via the calibrated rate, and the supervisor's
+        per-attempt wall budget via ``wall_budget_seconds`` — so a
+        worker is killed no later than its request's deadline.  The
+        wall budget stays out of the task's cache key (it depends on
+        queue timing, not on the problem).
+        """
+        max_conflicts = request.max_conflicts
+        wall_budget = self.config.task_timeout
+        if request.deadline_at is not None:
+            remaining = max(
+                0.001, request.deadline_at - time.perf_counter()
+            )
+            max_conflicts = clamp_conflicts_to_deadline(
+                max_conflicts, remaining, self.config.conflicts_per_second
+            )
+            wall_budget = (
+                remaining
+                if wall_budget is None
+                else min(wall_budget, remaining)
+            )
         return SolveTask(
             cnf=request.cnf,
             policy=request.policy,
             config=self.solver_config,
-            max_conflicts=request.max_conflicts,
+            max_conflicts=max_conflicts,
             tag=request.id,
+            wall_budget_seconds=wall_budget,
         )
 
     async def _solve_loop(self) -> None:
@@ -360,9 +536,24 @@ class SolveService:
             if not group:
                 continue
             tasks = [self._task_for(req) for req, _ in group]
-            outcomes = await loop.run_in_executor(
-                None, self.runner.run, tasks
-            )
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, self.runner.run, tasks
+                )
+            except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                # The runner's contract is outcomes-never-exceptions,
+                # so this is a dispatch-layer bug — but the futures of
+                # this group (and all future groups) must not hang on it.
+                outcomes = [
+                    SolveOutcome.from_failure(
+                        task,
+                        Status.ERROR,
+                        f"solve dispatch failed: "
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=1,
+                    )
+                    for task in tasks
+                ]
             for (req, fut), outcome in zip(group, outcomes):
                 if not fut.done():
                     fut.set_result(outcome)
@@ -371,13 +562,20 @@ class SolveService:
 
     def stats(self) -> Dict[str, object]:
         """Point-in-time service counters (the ``/healthz`` payload)."""
-        return {
+        stats: Dict[str, object] = {
             "accepting": self.accepting,
             "queue_depth": self.active,
             "requests": self.total_requests,
             "responses": self.total_responses,
             "rejected": self.total_rejected,
             "cancelled": self.total_cancelled,
+            "degraded": self.total_degraded,
+            "shed": self.total_shed,  # deadline sheds (subset of rejected)
+            "deadline_missed": self.total_deadline_missed,
             "inference_passes": self.batcher.passes,
             "inference_served": self.batcher.served,
+            "inference_failures": self.batcher.failures,
         }
+        if self.breaker is not None:
+            stats["breaker"] = self.breaker.stats()
+        return stats
