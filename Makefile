@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke chaos-smoke examples clean
+.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke chaos-smoke store-smoke trend-check examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -60,6 +60,20 @@ CHAOS_TRACE ?= chaos-traces
 chaos-smoke:
 	$(PYTHON) -m repro chaos --scenario $(CHAOS_SCENARIO) \
 		--check-determinism --trace $(CHAOS_TRACE)
+
+# Run-store smoke: traced solve + dataset auto-ingest into the run
+# store, `repro query` round trip, and the trend gate tripping on a
+# degraded bench result.  Mirrors the CI store-query-smoke job.
+store-smoke:
+	$(PYTHON) scripts/store_smoke.py
+
+# Cross-commit bench trend gate: ingest the committed baseline plus
+# the latest smoke result and fail on a >10% aggregate regression.
+# Run `make bench-bcp-smoke` first to produce BENCH_bcp_smoke.json.
+TREND_STORE ?= /tmp/repro-trend.sqlite
+trend-check:
+	$(PYTHON) -m repro trend BENCH_bcp.json BENCH_bcp_smoke.json \
+		--store $(TREND_STORE) --check-regression
 
 report:
 	$(PYTHON) -m repro.bench.reporting

@@ -461,11 +461,15 @@ def run_labeling_comparison():
 
 def run_all():
     """Full benchmark; returns the BENCH_bcp.json payload."""
+    from repro.obs.manifest import git_describe
+
     bcp = run_bcp_comparison()
     labeling = run_labeling_comparison()
     payload = {
         "smoke": SMOKE,
         "passes": PASSES,
+        "git": git_describe(),
+        "created_unix": round(time.time(), 3),
         "bcp": bcp,
         "labeling": labeling,
     }
@@ -473,7 +477,31 @@ def run_all():
     # regression gate compares against.
     path = SMOKE_RESULT_PATH if SMOKE else RESULT_PATH
     path.write_text(json.dumps(payload, indent=2) + "\n")
+    _ingest_into_store(path)
     return payload
+
+
+def _ingest_into_store(path: Path) -> None:
+    """Index the fresh result in ``$REPRO_STORE`` (best effort, opt-in).
+
+    Only an explicit ``REPRO_STORE`` target is honored — the benchmark
+    writes results at the repo root, so there is no trace directory to
+    default beside.
+    """
+    if not os.environ.get("REPRO_STORE", "").strip():
+        return
+    try:
+        from repro.store import RunStore, resolve_auto_store
+
+        store_path = resolve_auto_store(None)
+        if store_path is None:
+            return  # REPRO_STORE held an off-value
+        with RunStore(store_path) as store:
+            store.ingest_bench(path)
+    except Exception as exc:  # the store must never fail the benchmark
+        import sys
+
+        print(f"warning: run-store ingest failed ({exc})", file=sys.stderr)
 
 
 def test_bcp_micro():

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Run-store smoke check: auto-ingest, query round trip, trend gate.
+
+The CI ``store-query-smoke`` job (and ``make store-smoke``) runs this
+script.  It exercises the store's three load-bearing claims end to end,
+through the real CLI (``repro.cli.main``), not the library surface:
+
+1. **auto-ingest** — a traced solve and a traced dataset build land in
+   ``<trace_dir>/runstore.sqlite`` with no store-specific flags, and
+   ``repro query runs --json`` returns both with the right kind,
+   status, and exit code;
+2. **query round trip** — metrics and trace artifacts recorded during
+   the runs are queryable (``repro query metrics`` / ``traces``), and
+   ``repro report <run-id>`` resolves a stored run id back to its
+   trace;
+3. **trend gate** — ingesting the committed ``BENCH_bcp.json`` plus a
+   synthetically degraded copy makes ``repro trend
+   --check-regression`` exit nonzero, and a healthy copy passes.
+
+Exit code 0 on success; any failed assertion prints the evidence and
+exits 1.
+"""
+
+import contextlib
+import copy
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+from repro.cnf import CNF, write_dimacs_file
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_BASELINE = REPO_ROOT / "BENCH_bcp.json"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(argv, expect=0):
+    """Run one CLI invocation, capturing stdout; returns the text."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    if code != expect:
+        fail(f"repro {' '.join(argv)} exited {code}, expected {expect}\n"
+             f"{buffer.getvalue()}")
+    return buffer.getvalue()
+
+
+def main_smoke() -> None:
+    work = Path(tempfile.mkdtemp(prefix="store-smoke-"))
+    trace_dir = work / "traces"
+    store = str(trace_dir / "runstore.sqlite")
+
+    # -- 1. auto-ingest: traced runs land in the store untouched --------
+    cnf_path = work / "smoke.cnf"
+    write_dimacs_file(CNF([[1, 2], [-2, 3], [-1, -3]]), cnf_path)
+    run_cli(["solve", str(cnf_path), "--trace", str(trace_dir)], expect=10)
+    run_cli([
+        "dataset", "--out", str(work / "ds.json"),
+        "--per-year", "1", "--label-budget", "200",
+        "--trace", str(trace_dir),
+    ])
+
+    rows = json.loads(run_cli(["query", "runs", "--store", store, "--json"]))
+    kinds = {row["kind"]: row for row in rows}
+    if set(kinds) != {"solve", "dataset"}:
+        fail(f"expected solve+dataset runs in the store, got {sorted(kinds)}")
+    if kinds["solve"]["status"] != "ok" or kinds["solve"]["exit_code"] != 10:
+        fail(f"solve run misrecorded: {kinds['solve']}")
+    if any(not row["commit_ref"] for row in rows):
+        fail(f"runs missing commit_ref: {rows}")
+    print(f"ok: {len(rows)} traced runs auto-ingested into {store}")
+
+    # -- 2. query round trip: metrics, artifacts, report-by-run-id ------
+    metrics = json.loads(run_cli([
+        "query", "metrics", "--store", store,
+        "--run", kinds["solve"]["run_id"], "--json",
+    ]))
+    if not any(m["name"] == "events.run-end" for m in metrics):
+        fail(f"solve run has no events.run-end metric row: {metrics}")
+    traces = json.loads(run_cli([
+        "query", "traces", "--store", store, "--role", "all", "--json",
+    ]))
+    if len(traces) < 4:  # trace + manifest per run
+        fail(f"expected >=4 artifacts (trace+manifest x2), got {traces}")
+    report = run_cli([
+        "report", kinds["solve"]["run_id"], "--store", store,
+    ])
+    if kinds["solve"]["run_id"] not in report:
+        fail("repro report <run-id> did not resolve through the store")
+    print(f"ok: query round trip ({len(metrics)} metric rows, "
+          f"{len(traces)} artifacts, report resolves run ids)")
+
+    # -- 3. trend gate: degraded copy trips, healthy copy passes --------
+    baseline = json.loads(BENCH_BASELINE.read_text())
+    baseline.setdefault("created_unix", 1_700_000_000.0)
+    degraded = copy.deepcopy(baseline)
+    for cell in degraded["bcp"]["workloads"].values():
+        cell["arena"]["props_per_sec"] /= 3.0
+    degraded["bcp"]["aggregate"]["arena"] /= 3.0
+    degraded["created_unix"] = baseline["created_unix"] + 100.0
+    healthy = copy.deepcopy(baseline)
+    healthy["created_unix"] = baseline["created_unix"] + 100.0
+    b_base = work / "BENCH_base.json"
+    b_bad = work / "BENCH_degraded.json"
+    b_good = work / "BENCH_healthy.json"
+    b_base.write_text(json.dumps(baseline))
+    b_bad.write_text(json.dumps(degraded))
+    b_good.write_text(json.dumps(healthy))
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main([
+            "trend", str(b_base), str(b_bad),
+            "--store", str(work / "trend-bad.sqlite"), "--check-regression",
+        ])
+    if code == 0:
+        fail("trend gate passed a 3x-degraded arena measurement")
+    run_cli([
+        "trend", str(b_base), str(b_good),
+        "--store", str(work / "trend-good.sqlite"), "--check-regression",
+    ])
+    print("ok: trend gate trips on a degraded bench result and "
+          "passes a healthy one")
+    print("store smoke passed")
+
+
+if __name__ == "__main__":
+    main_smoke()

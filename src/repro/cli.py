@@ -16,7 +16,15 @@ Subcommands mirror the library's workflow:
   (``--shrink`` minimizes failures into a replayable corpus; ``--replay``
   re-checks stored corpus entries)
 * ``report``     — render trace reports (``repro report out/*.jsonl``),
-  or rebuild EXPERIMENTS.md from benchmark results when called bare
+  resolve store run ids (``repro report r-1f2e3d4c5b6a`` or
+  ``--latest kind=bench``), or rebuild EXPERIMENTS.md when called bare
+* ``query``      — interrogate the run store: ``runs`` / ``metrics`` /
+  ``traces`` / ``bench-trend`` with kind/status/commit/time filters and
+  table, csv, or json output (see ``docs/run_store.md``)
+* ``trend``      — ingest ``BENCH_*.json`` files across commits into
+  the store, print rolling-baseline deltas, and (with
+  ``--check-regression``) exit nonzero when the newest measurement
+  regressed past the threshold — the CI bench gate
 * ``serve``      — long-lived solve service (JSON over HTTP, localhost):
   admission control, batched policy inference, supervised solve fan-out,
   opt-in resilience (circuit breaker, deadline propagation — see
@@ -34,6 +42,9 @@ Observability: ``solve`` / ``dataset`` / ``train`` / ``bench`` /
 ``--trace DIR`` (default: the ``REPRO_TRACE_DIR`` environment variable)
 to write a structured JSONL event trace plus a run manifest, and
 ``--no-metrics`` to skip in-process metric collection while tracing.
+Every traced run is also auto-indexed in the run store
+(``$REPRO_STORE``, or ``<trace_dir>/runstore.sqlite``) for ``repro
+query``; ``REPRO_STORE=off`` disables that.
 """
 
 from __future__ import annotations
@@ -553,19 +564,68 @@ def _add_report(subparsers) -> None:
         help="summarize trace files, or rebuild EXPERIMENTS.md with no args",
     )
     p.add_argument("traces", nargs="*",
-                   help="trace .jsonl files written by --trace; with none, "
+                   help="trace .jsonl files written by --trace, or run ids "
+                        "resolved through the run store; with none, "
                         "EXPERIMENTS.md is rebuilt from benchmarks/results/")
     p.add_argument("--validate", action="store_true",
                    help="check every trace line against the event schema "
                         "and exit 1 on any violation")
     p.add_argument("--json", action="store_true",
                    help="print the machine-readable summary instead of text")
+    p.add_argument("--store", metavar="PATH",
+                   help="run store used to resolve run ids and --latest "
+                        "(default: $REPRO_STORE, else "
+                        "$REPRO_TRACE_DIR/runstore.sqlite)")
+    p.add_argument("--latest", metavar="kind=KIND",
+                   help="report the most recent stored run of one kind "
+                        "(e.g. --latest kind=bench)")
     p.set_defaults(func=cmd_report)
+
+
+def _resolve_report_traces(args) -> List[str]:
+    """Map run ids and ``--latest`` selectors onto stored trace paths.
+
+    Arguments naming existing files pass through untouched; anything
+    else is treated as a run id and resolved via the store's ``trace``
+    artifact, so ``repro report r-1f2e3d4c5b6a`` works anywhere the
+    run was ingested.
+    """
+    from pathlib import Path
+
+    literal = [item for item in args.traces if Path(item).exists()]
+    unresolved = [item for item in args.traces if not Path(item).exists()]
+    if not unresolved and not args.latest:
+        return literal
+    traces: List[str] = []
+    with _store_from_args(args) as store:
+        if args.latest:
+            selector = args.latest
+            kind = selector.split("=", 1)[1] if "=" in selector else selector
+            run = store.latest_run(kind)
+            if run is None:
+                raise SystemExit(f"no runs of kind {kind!r} in the store")
+            path = store.trace_path(run["run_id"])
+            if path is None:
+                raise SystemExit(
+                    f"run {run['run_id']} has no trace artifact"
+                )
+            traces.append(str(path))
+        for item in args.traces:
+            if Path(item).exists():
+                traces.append(item)
+                continue
+            path = store.trace_path(item)
+            if path is None:
+                raise SystemExit(
+                    f"{item}: not a trace file and not a stored run id"
+                )
+            traces.append(str(path))
+    return traces
 
 
 def cmd_report(args) -> int:
     """Handle ``repro report``: trace summary, or EXPERIMENTS.md rebuild."""
-    if not args.traces:
+    if not args.traces and not args.latest:
         from repro.bench.reporting import build_experiments_md
 
         build_experiments_md()
@@ -574,17 +634,298 @@ def cmd_report(args) -> int:
 
     from repro.obs import render_report, summarize_traces, validate_traces
 
+    traces = _resolve_report_traces(args)
     if args.validate:
-        errors = validate_traces(args.traces)
+        errors = validate_traces(traces)
         if errors:
             for error in errors:
                 print(f"invalid: {error}", file=sys.stderr)
             return 1
-    summary = summarize_traces(args.traces)
+    summary = summarize_traces(traces)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True, default=str))
     else:
         print(render_report(summary), end="")
+    return 0
+
+
+def _store_from_args(args):
+    """Open the run store a query subcommand should read.
+
+    ``--store`` wins, then ``$REPRO_STORE``, then the auto-store beside
+    ``$REPRO_TRACE_DIR``.  Exits with guidance when nothing resolves —
+    query surfaces need an explicit target, unlike the silently
+    best-effort registration hooks.
+    """
+    import os
+
+    from repro.store import RunStore, resolve_auto_store
+
+    path = getattr(args, "store", None) or resolve_auto_store(
+        os.environ.get("REPRO_TRACE_DIR") or None
+    )
+    if path is None:
+        raise SystemExit(
+            "no run store: pass --store PATH, or set REPRO_STORE (or "
+            "REPRO_TRACE_DIR, whose runstore.sqlite is the default)"
+        )
+    return RunStore(path)
+
+
+def _parse_when(text: Optional[str]) -> Optional[float]:
+    """A ``--since``/``--until`` value as unix seconds.
+
+    Accepts raw unix seconds, ``YYYY-MM-DD`` (with optional time), or a
+    relative age like ``7d`` / ``12h`` / ``30m`` meaning that long ago.
+    """
+    if text is None:
+        return None
+    import time as _time
+
+    text = text.strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    unit = {"d": 86400.0, "h": 3600.0, "m": 60.0, "s": 1.0}.get(text[-1:])
+    if unit is not None:
+        try:
+            return _time.time() - float(text[:-1]) * unit
+        except ValueError:
+            pass
+    for fmt in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%dT%H:%M:%S",
+                "%Y-%m-%d %H:%M", "%Y-%m-%d"):
+        try:
+            return _time.mktime(_time.strptime(text, fmt))
+        except ValueError:
+            continue
+    raise SystemExit(
+        f"unrecognized time {text!r} (expected unix seconds, YYYY-MM-DD, "
+        f"or a relative age like 7d / 12h / 30m)"
+    )
+
+
+def _add_query_common(p) -> None:
+    """Flags every ``repro query`` subcommand shares."""
+    p.add_argument("--store", metavar="PATH",
+                   help="run store path (default: $REPRO_STORE, else "
+                        "$REPRO_TRACE_DIR/runstore.sqlite)")
+    p.add_argument("--format", default="table",
+                   choices=("table", "csv", "json"),
+                   help="output format (default: table)")
+    p.add_argument("--json", action="store_const", const="json",
+                   dest="format", help="shorthand for --format json")
+    p.add_argument("--limit", type=int,
+                   help="return at most this many rows")
+
+
+def _add_query(subparsers) -> None:
+    p = subparsers.add_parser(
+        "query",
+        help="interrogate the run store (runs / metrics / traces / "
+             "bench-trend); see docs/run_store.md for a cookbook",
+    )
+    sub = p.add_subparsers(dest="query_command", required=True)
+
+    runs = sub.add_parser("runs", help="list indexed runs, newest first")
+    runs.add_argument("--kind",
+                      help="only runs of this kind (solve, dataset, bench, "
+                           "fuzz, serve, chaos, bench-file, ...)")
+    runs.add_argument("--status",
+                      help="only runs with this status "
+                           "(ok, failed, running, incomplete)")
+    runs.add_argument("--commit", help="only runs from this source commit")
+    runs.add_argument("--since", metavar="WHEN",
+                      help="only runs created at/after WHEN "
+                           "(unix seconds, YYYY-MM-DD, or 7d/12h ago)")
+    runs.add_argument("--until", metavar="WHEN",
+                      help="only runs created at/before WHEN")
+    _add_query_common(runs)
+
+    metrics = sub.add_parser(
+        "metrics", help="flattened metric rows across runs"
+    )
+    metrics.add_argument("--run", metavar="RUN_ID",
+                         help="only metrics from this run")
+    metrics.add_argument("--name",
+                         help="metric name; * wildcards select families "
+                              "(e.g. --name 'serve.*')")
+    metrics.add_argument("--kind", dest="metric_kind",
+                         choices=("counter", "gauge", "histogram", "event"),
+                         help="only metrics of this kind")
+    _add_query_common(metrics)
+
+    traces = sub.add_parser(
+        "traces", help="artifact references (trace files by default)"
+    )
+    traces.add_argument("--run", metavar="RUN_ID",
+                        help="only artifacts of this run")
+    traces.add_argument("--role", default="trace",
+                        help="artifact role: trace (default), manifest, "
+                             "bench-json, fuzz-repro, ... or 'all'")
+    traces.add_argument("--kind", help="only artifacts of runs of this kind")
+    _add_query_common(traces)
+
+    trend = sub.add_parser(
+        "bench-trend",
+        help="benchmark series with rolling-baseline deltas",
+    )
+    trend.add_argument("--workload",
+                       help="one workload (3sat, mixed, binary, long, "
+                            "aggregate); default: all")
+    trend.add_argument("--engine",
+                       help="one engine series (legacy, new, arena) — "
+                            "props_per_sec metric only")
+    trend.add_argument("--metric", default="speedup",
+                       choices=("speedup", "props_per_sec"),
+                       help="derived arena-vs-new ratio (default) or raw "
+                            "per-engine throughput")
+    trend.add_argument("--window", type=int, default=5,
+                       help="rolling-baseline depth in measurements")
+    _add_query_common(trend)
+
+    p.set_defaults(func=cmd_query)
+
+
+def cmd_query(args) -> int:
+    """Handle ``repro query``: render one store query as table/csv/json."""
+    from repro.store import (
+        ARTIFACT_COLUMNS,
+        METRIC_COLUMNS,
+        RUN_COLUMNS,
+        TREND_COLUMNS,
+        bench_trend,
+        format_rows,
+        humanize_unix,
+    )
+
+    with _store_from_args(args) as store:
+        if args.query_command == "runs":
+            rows = store.runs(
+                kind=args.kind,
+                status=args.status,
+                commit=args.commit,
+                since=_parse_when(args.since),
+                until=_parse_when(args.until),
+                limit=args.limit,
+            )
+            columns = list(RUN_COLUMNS)
+            if args.format == "table":
+                columns[columns.index("created_unix")] = "created"
+                for row in rows:
+                    row["created"] = humanize_unix(row["created_unix"])
+        elif args.query_command == "metrics":
+            rows = store.metrics(
+                run_id=args.run,
+                name=args.name,
+                metric_kind=args.metric_kind,
+                limit=args.limit,
+            )
+            columns = list(METRIC_COLUMNS)
+        elif args.query_command == "traces":
+            role = None if args.role in ("all", "any", "*") else args.role
+            rows = store.artifacts(
+                run_id=args.run, role=role, kind=args.kind, limit=args.limit
+            )
+            columns = list(ARTIFACT_COLUMNS)
+        else:  # bench-trend
+            rows = bench_trend(
+                store,
+                metric=args.metric,
+                workload=args.workload,
+                engine=args.engine,
+                window=args.window,
+            )
+            if args.limit is not None:
+                rows = rows[-args.limit:]
+            columns = list(TREND_COLUMNS)
+        print(format_rows(rows, columns, args.format))
+    return 0
+
+
+def _add_trend(subparsers) -> None:
+    p = subparsers.add_parser(
+        "trend",
+        help="ingest BENCH_*.json files into the store, print "
+             "rolling-baseline deltas, optionally gate regressions",
+    )
+    p.add_argument("bench", nargs="*", metavar="BENCH_JSON",
+                   help="benchmark result files to ingest before querying "
+                        "(idempotent: re-ingesting a file replaces its rows)")
+    p.add_argument("--store", metavar="PATH",
+                   help="run store path (default: $REPRO_STORE, else "
+                        "$REPRO_TRACE_DIR/runstore.sqlite)")
+    p.add_argument("--commit",
+                   help="commit ref stamped on ingested files that carry "
+                        "none (older BENCH files predate the git stamp)")
+    p.add_argument("--metric", default="speedup",
+                   choices=("speedup", "props_per_sec"),
+                   help="series to trend: the host-independent arena-vs-new "
+                        "ratio (default) or raw throughput")
+    p.add_argument("--workload", help="restrict the printed trend rows")
+    p.add_argument("--engine",
+                   help="restrict to one engine (props_per_sec metric only)")
+    p.add_argument("--window", type=int, default=5,
+                   help="rolling-baseline depth in measurements")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="regression gate: fail when the newest value drops "
+                        "more than this fraction below the baseline")
+    p.add_argument("--check-regression", action="store_true",
+                   help="exit 1 when any gated series regressed past the "
+                        "threshold (the CI contract)")
+    p.add_argument("--per-workload", action="store_true",
+                   help="gate every workload series, not just the "
+                        "host-independent aggregate")
+    p.add_argument("--format", default="table",
+                   choices=("table", "csv", "json"),
+                   help="trend row output format (default: table)")
+    p.add_argument("--json", action="store_const", const="json",
+                   dest="format", help="shorthand for --format json")
+    p.set_defaults(func=cmd_trend)
+
+
+def cmd_trend(args) -> int:
+    """Handle ``repro trend``: ingest + trend + optional regression gate."""
+    from repro.store import (
+        TREND_COLUMNS,
+        StoreIngestError,
+        bench_trend,
+        check_regression,
+        format_rows,
+    )
+
+    with _store_from_args(args) as store:
+        for path in args.bench:
+            try:
+                count = store.ingest_bench(path, commit=args.commit)
+            except StoreIngestError as exc:
+                raise SystemExit(f"cannot ingest {path}: {exc}")
+            print(f"c ingested {path}: {count} series rows", file=sys.stderr)
+        rows = bench_trend(
+            store,
+            metric=args.metric,
+            workload=args.workload,
+            engine=args.engine,
+            window=args.window,
+        )
+        print(format_rows(rows, list(TREND_COLUMNS), args.format))
+        if args.check_regression:
+            check = check_regression(
+                store,
+                threshold=args.threshold,
+                window=args.window,
+                metric=args.metric,
+                per_workload=args.per_workload,
+            )
+            if not check.ok:
+                for failure in check.failures:
+                    print(f"REGRESSION: {failure}", file=sys.stderr)
+                return 1
+            print(
+                f"c trend gate: {check.checked} series within "
+                f"{100 * args.threshold:.0f}% of their rolling baseline",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -865,6 +1206,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench(subparsers)
     _add_fuzz(subparsers)
     _add_report(subparsers)
+    _add_query(subparsers)
+    _add_trend(subparsers)
     _add_serve(subparsers)
     _add_chaos(subparsers)
     return parser

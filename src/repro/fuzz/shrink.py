@@ -237,7 +237,39 @@ class FailureCorpus:
         manifest_path.write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
+        self._register_artifacts(cnf_path, manifest_path)
         return manifest_path
+
+    @staticmethod
+    def _register_artifacts(cnf_path: Path, manifest_path: Path) -> None:
+        """Index the repro pair in ``$REPRO_STORE`` (best effort, opt-in).
+
+        Corpus entries outlive the campaign that found them, so the
+        store records them as standalone content-addressed artifacts —
+        ``repro query traces --role fuzz-repro`` lists every minimized
+        failure ever captured.  Only an explicit ``REPRO_STORE`` target
+        is honored, and failures never break the shrink path.
+        """
+        import os
+
+        if not os.environ.get("REPRO_STORE", "").strip():
+            return
+        try:
+            from repro.store import RunStore, resolve_auto_store
+
+            store_path = resolve_auto_store(None)
+            if store_path is None:
+                return  # REPRO_STORE held an off-value
+            with RunStore(store_path) as store:
+                store.register_artifact(cnf_path, "fuzz-repro")
+                store.register_artifact(manifest_path, "fuzz-repro-manifest")
+        except Exception as exc:  # never take the campaign down
+            import sys
+
+            print(
+                f"warning: run-store artifact registration failed ({exc})",
+                file=sys.stderr,
+            )
 
     def entries(self) -> List[Path]:
         """All manifest paths in the corpus, sorted by name."""

@@ -36,11 +36,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     SMALL_COUNT_BUCKETS,
     TIME_BUCKETS,
+    render_prometheus,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer, Span
 from repro.obs.trace import (
     EVENT_TYPES,
     TRACE_FORMAT_VERSION,
+    TraceRead,
     TraceSink,
     new_run_id,
     read_trace,
@@ -68,11 +70,13 @@ __all__ = [
     "Span",
     "TIME_BUCKETS",
     "TRACE_FORMAT_VERSION",
+    "TraceRead",
     "TraceSink",
     "collect_manifest",
     "git_describe",
     "new_run_id",
     "read_trace",
+    "render_prometheus",
     "render_report",
     "start_run",
     "summarize_traces",

@@ -5,9 +5,9 @@ a labelling sweep, benchmark suite, or training job: the command and
 argv, the effective configuration, seeds, the selected policy, the
 source revision (``git describe``), and the execution environment
 (Python, platform, CPU count, ``REPRO_*`` variables).  It is written as
-``<run_id>.manifest.json`` next to the trace file *and* embedded in the
-trace's ``run-start`` event, so a single ``.jsonl`` file is a complete,
-self-describing run record.
+``<command>-<run_id>-p<pid>.manifest.json`` next to the trace file
+*and* embedded in the trace's ``run-start`` event, so a single
+``.jsonl`` file is a complete, self-describing run record.
 
 :func:`start_run` is the one-call entry point the CLI uses: it builds
 the observer (sink + registry), writes the manifest, and emits
@@ -137,26 +137,41 @@ def start_run(
 ) -> Observer:
     """Build the observer for one CLI run (or return the null observer).
 
-    With ``trace_dir`` set, creates ``<dir>/<command>-<run_id>.jsonl``
-    and ``<dir>/<command>-<run_id>.manifest.json``, emits ``run-start``
-    (manifest embedded), and returns a live observer whose registry is
-    enabled unless ``metrics`` is False.  Without a trace directory the
-    shared :data:`~repro.obs.observer.NULL_OBSERVER` is returned —
+    With ``trace_dir`` set, creates
+    ``<dir>/<command>-<run_id>-p<pid>.jsonl`` and the matching
+    ``....manifest.json``, emits ``run-start`` (manifest embedded), and
+    returns a live observer whose registry is enabled unless
+    ``metrics`` is False.  The filename embeds both the random run id
+    and the writer's pid, so concurrent writers sharing one trace
+    directory (a sharded sweep, a forking service) can never collide
+    on a name.  Without a trace directory the shared
+    :data:`~repro.obs.observer.NULL_OBSERVER` is returned —
     observability stays strictly opt-in.
+
+    The run is also auto-registered (status ``running``) in the run
+    store resolved by :func:`repro.store.resolve_auto_store` —
+    ``$REPRO_STORE``, or ``<trace_dir>/runstore.sqlite`` — and
+    ``observer.finish(...)`` ingests the finished trace, so every
+    traced run is queryable via ``repro query`` with no caller
+    changes.  Store failures never break the run: they degrade to a
+    stderr warning.
 
     Callers should end the run with ``observer.finish(...)`` so the
     ``run-end`` event (phase totals + metrics snapshot) lands in the
-    trace.
+    trace and the store row flips from ``running`` to its final
+    status.
     """
     if trace_dir is None:
         return NULL_OBSERVER
     run_id = new_run_id()
     trace_dir = Path(trace_dir)
-    sink = TraceSink(trace_dir / f"{command}-{run_id}.jsonl", run_id=run_id)
+    stem = f"{command}-{run_id}-p{os.getpid()}"
+    sink = TraceSink(trace_dir / f"{stem}.jsonl", run_id=run_id)
     manifest = collect_manifest(
         run_id, command, argv=argv, config=config, seeds=seeds, policy=policy
     )
-    manifest.write(trace_dir / f"{command}-{run_id}.manifest.json")
+    manifest_path = trace_dir / f"{stem}.manifest.json"
+    manifest.write(manifest_path)
     observer = Observer(
         sink=sink, registry=MetricsRegistry(enabled=metrics), run_id=run_id
     )
@@ -166,4 +181,35 @@ def start_run(
         manifest=manifest.to_dict(),
         format_version=TRACE_FORMAT_VERSION,
     )
+    observer.manifest_path = manifest_path
+    _register_in_store(observer, trace_dir, manifest)
     return observer
+
+
+def _register_in_store(
+    observer: Observer, trace_dir: Path, manifest: RunManifest
+) -> None:
+    """Best-effort run-store registration; never raises into the run."""
+    try:
+        from repro.store import RunStore, resolve_auto_store
+
+        store_path = resolve_auto_store(trace_dir)
+        if store_path is None:
+            return
+        with RunStore(store_path) as store:
+            store.register_run(
+                run_id=manifest.run_id,
+                kind=manifest.command,
+                commit=manifest.git,
+                policy=manifest.policy,
+                created_unix=manifest.created_unix,
+                config=manifest.config,
+                trace_path=observer.sink.path,
+                manifest_path=observer.manifest_path,
+            )
+        observer.store_path = store_path
+    except Exception as exc:  # the store must never take a run down
+        print(
+            f"warning: run-store registration failed ({exc})",
+            file=sys.stderr,
+        )

@@ -253,3 +253,70 @@ class MetricsRegistry:
                 n: h.to_dict() for n, h in sorted(self._histograms.items())
             },
         }
+
+
+def _prometheus_name(name: str) -> str:
+    """A metric name sanitized to Prometheus's ``[a-zA-Z0-9_:]`` set."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized or "_"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    snapshot: Dict[str, object],
+    extra_gauges: Optional[Dict[str, object]] = None,
+) -> str:
+    """A registry snapshot in Prometheus text exposition format (0.0.4).
+
+    Counters and gauges map directly; fixed-bucket histograms become
+    the standard ``_bucket{le=...}`` cumulative series (the snapshot's
+    per-bucket counts are non-cumulative, so the running sum is taken
+    here) plus ``_sum`` and ``_count``.  ``extra_gauges`` lets a caller
+    append ad-hoc numeric readings — the solve service exposes its
+    ``stats()`` counters this way — non-numeric values are skipped.
+    Dots and dashes in names become underscores (``serve.batch_size``
+    -> ``serve_batch_size``).
+    """
+    lines: List[str] = []
+    for name, value in (snapshot.get("counters") or {}).items():  # type: ignore[union-attr]
+        prom = _prometheus_name(str(name))
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_format_value(value)}")
+    for name, value in (snapshot.get("gauges") or {}).items():  # type: ignore[union-attr]
+        prom = _prometheus_name(str(name))
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(value)}")
+    for name, histo in (snapshot.get("histograms") or {}).items():  # type: ignore[union-attr]
+        prom = _prometheus_name(str(name))
+        bounds = histo.get("bounds", [])
+        counts = histo.get("counts", [])
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, counts):
+            cumulative += int(bucket_count)
+            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
+        if len(counts) > len(bounds):  # the overflow slot
+            cumulative += int(counts[-1])
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {_format_value(histo.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {int(histo.get('count', 0))}")
+    for name, value in (extra_gauges or {}).items():
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            continue
+        prom = _prometheus_name(str(name))
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

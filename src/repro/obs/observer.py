@@ -93,6 +93,11 @@ class Observer:
             self.run_id = new_run_id()
         #: In-memory per-phase aggregates: name -> [count, total_seconds].
         self._spans: Dict[str, List[float]] = {}
+        #: Set by ``start_run``: the sibling manifest file for this run.
+        self.manifest_path = None
+        #: Set by ``start_run`` when a run store is configured; consumed
+        #: (and cleared) by :meth:`finish`, which ingests the trace.
+        self.store_path = None
 
     @property
     def tracing(self) -> bool:
@@ -174,7 +179,9 @@ class Observer:
     # -- lifecycle --------------------------------------------------------
 
     def finish(self, **fields: Any) -> None:
-        """Emit ``run-end`` (phases + metrics snapshot) and close the sink."""
+        """Emit ``run-end`` (phases + metrics snapshot), close the sink,
+        and — when ``start_run`` attached a run store — ingest the
+        finished trace so the run is immediately queryable."""
         if self.sink is not None:
             self.sink.emit("run-end", {
                 "phases": self.span_summary(),
@@ -182,6 +189,27 @@ class Observer:
                 **fields,
             })
         self.close()
+        self._auto_ingest()
+
+    def _auto_ingest(self) -> None:
+        """Best-effort store ingest of this run's trace (idempotent)."""
+        store_path, self.store_path = self.store_path, None
+        if store_path is None or self.sink is None:
+            return
+        try:
+            from repro.store import RunStore
+
+            with RunStore(store_path) as store:
+                store.ingest_trace(
+                    self.sink.path, manifest_path=self.manifest_path
+                )
+        except Exception as exc:  # the store must never take a run down
+            import sys
+
+            print(
+                f"warning: run-store ingest failed ({exc})",
+                file=sys.stderr,
+            )
 
     def flush(self) -> None:
         """Flush buffered trace lines to disk."""

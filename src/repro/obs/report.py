@@ -80,12 +80,18 @@ def summarize_traces(
     chaos_faults: Dict[str, int] = {}
     chaos_runs: List[Dict[str, Any]] = []
 
+    trace_warnings = 0
     for path in paths:
-        events, file_errors = read_trace(path)
+        loaded = read_trace(path)
+        events, file_errors = loaded.events, loaded.errors
         errors.extend(f"{path}: {err}" for err in file_errors)
+        trace_warnings += loaded.warning_count
         run_phases: Dict[str, Dict[str, float]] = {}
         span_fallback: Dict[str, List[float]] = {}
-        run_info: Dict[str, Any] = {"file": str(path)}
+        run_info: Dict[str, Any] = {
+            "file": str(path),
+            "warnings": loaded.warning_count,
+        }
         for record in events:
             kind = record["event"]
             event_counts[kind] = event_counts.get(kind, 0) + 1
@@ -262,6 +268,7 @@ def summarize_traces(
         "files": [str(p) for p in paths],
         "runs": runs,
         "errors": errors,
+        "trace_warnings": trace_warnings,
         "event_counts": dict(sorted(event_counts.items())),
         "phases": phases,
         "deleted_clauses": deleted_clauses,
@@ -316,6 +323,12 @@ def render_report(summary: Dict[str, Any]) -> str:
         out.append("")
         out.append(f"schema errors ({len(summary['errors'])}):")
         out.extend(f"  {err}" for err in summary["errors"])
+    if summary.get("trace_warnings"):
+        out.append("")
+        out.append(
+            f"tolerated trace warnings (torn/skipped lines): "
+            f"{summary['trace_warnings']}"
+        )
 
     out.append("")
     out.append("event counts:")

@@ -190,22 +190,61 @@ def validate_event(record: Any) -> Optional[str]:
     return None
 
 
-def read_trace(
-    path: Union[str, Path], strict: bool = False
-) -> Tuple[List[Dict[str, Any]], List[str]]:
-    """Load a trace file; returns ``(events, errors)``.
+class TraceRead(tuple):
+    """Result of :func:`read_trace`: a ``(events, errors)`` pair that
+    also carries structured ``warnings``.
+
+    Unpacks exactly like the historical two-tuple —
+    ``events, errors = read_trace(path)`` keeps working — while
+    :attr:`warnings` surfaces the lines that were *tolerated* rather
+    than rejected (a torn final line from a killed writer, interior
+    blank lines), each as ``{"line": N, "reason": ..., "detail": ...}``.
+    Tolerated-but-dropped lines used to vanish silently; the run store
+    and ``repro report`` now count them per run.
+    """
+
+    def __new__(
+        cls,
+        events: List[Dict[str, Any]],
+        errors: List[str],
+        warnings: List[Dict[str, Any]],
+    ) -> "TraceRead":
+        self = super().__new__(cls, (events, errors))
+        self.warnings = warnings
+        return self
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """Schema-valid event records, in file order."""
+        return self[0]
+
+    @property
+    def errors(self) -> List[str]:
+        """Rejected lines (``"line N: why"``), empty when clean."""
+        return self[1]
+
+    @property
+    def warning_count(self) -> int:
+        """Number of tolerated (torn/skipped) lines."""
+        return len(self.warnings)
+
+
+def read_trace(path: Union[str, Path], strict: bool = False) -> TraceRead:
+    """Load a trace file; returns a :class:`TraceRead`.
 
     A torn *final* line (the signature of a killed writer, mirroring
-    :class:`~repro.parallel.journal.RunJournal`) is skipped silently.
-    Any other malformed or schema-invalid line produces an error entry
-    ``"line N: <why>"``; with ``strict`` the first one raises
-    :class:`ValueError` instead.
+    :class:`~repro.parallel.journal.RunJournal`) is tolerated but
+    recorded as a structured warning — it no longer disappears
+    silently.  Any other malformed or schema-invalid line produces an
+    error entry ``"line N: <why>"``; with ``strict`` the first one
+    raises :class:`ValueError` instead.
     """
     lines = Path(path).read_text(encoding="utf-8").splitlines()
     while lines and not lines[-1].strip():
         lines.pop()
     events: List[Dict[str, Any]] = []
     errors: List[str] = []
+    warnings: List[Dict[str, Any]] = []
 
     def problem(number: int, why: str) -> None:
         message = f"line {number}: {why}"
@@ -216,12 +255,22 @@ def read_trace(
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
+            warnings.append({
+                "line": number,
+                "reason": "blank-line",
+                "detail": "interior blank line skipped",
+            })
             continue
         try:
             record = json.loads(line)
-        except ValueError:
+        except ValueError as exc:
             if number == len(lines):
-                continue  # torn final line from a killed writer
+                warnings.append({
+                    "line": number,
+                    "reason": "torn-final-line",
+                    "detail": f"killed writer signature: {exc}",
+                })
+                continue
             problem(number, "unparseable JSON")
             continue
         why = validate_event(record)
@@ -229,4 +278,4 @@ def read_trace(
             problem(number, why)
             continue
         events.append(record)
-    return events, errors
+    return TraceRead(events, errors, warnings)

@@ -42,6 +42,8 @@ class ServeReply:
     json: Any
     #: Response headers, lower-cased keys (``retry-after`` et al.).
     headers: Dict[str, str] = field(default_factory=dict)
+    #: Raw body text for non-JSON responses (Prometheus ``/metrics``).
+    text: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +74,11 @@ async def _read_response(reader: asyncio.StreamReader) -> ServeReply:
         body = await reader.readexactly(int(headers["content-length"]))
     else:
         body = await reader.read()  # Connection: close delimits the body
+    if body and headers.get("content-type", "").startswith("text/plain"):
+        return ServeReply(
+            code=code, json=None, headers=headers,
+            text=body.decode("utf-8"),
+        )
     return ServeReply(
         code=code,
         json=json.loads(body) if body else None,
@@ -255,7 +262,11 @@ class ServeClient:
         return await self._call("GET", "/healthz")
 
     async def metrics(self) -> ServeReply:
-        """Live counters plus the metrics-registry snapshot."""
+        """Live counters plus the metrics-registry snapshot (JSON)."""
+        return await self._call("GET", "/metrics?format=json")
+
+    async def metrics_text(self) -> ServeReply:
+        """Prometheus text exposition (``reply.text``) from ``/metrics``."""
         return await self._call("GET", "/metrics")
 
     async def wait_ready(self, timeout: float = 10.0) -> None:

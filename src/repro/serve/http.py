@@ -29,8 +29,11 @@ JSON bodies.  Endpoints:
     Service counters: queue depth, totals, inference passes.
 
 ``GET /metrics``
-    ``{"service": {...}, "registry": {...}}`` — live counters plus the
-    metrics-registry snapshot (empty when metrics are disabled).
+    Prometheus text exposition format (version 0.0.4): the metrics
+    registry's counters/gauges/histograms plus the service counters as
+    gauges, ready for a scrape target.  ``GET /metrics?format=json``
+    keeps the historical JSON payload ``{"service": {...},
+    "registry": {...}}``.
 
 The server binds localhost by default; it is a trusted-network service,
 not an internet-facing one (no TLS, no auth — put a real proxy in
@@ -44,6 +47,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cnf.dimacs import parse_dimacs
+from repro.obs.metrics import render_prometheus
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.serve.protocol import AdmissionError, ServeRequest
 from repro.serve.service import SolveService
@@ -184,6 +188,7 @@ class HttpFrontDoor:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        path, _, query = path.partition("?")
         if path == "/solve":
             if method != "POST":
                 await _send_json(writer, 405, {"error": "POST /solve"})
@@ -192,14 +197,17 @@ class HttpFrontDoor:
         elif path == "/healthz" and method == "GET":
             await _send_json(writer, 200, self.service.stats())
         elif path == "/metrics" and method == "GET":
-            await _send_json(
-                writer,
-                200,
-                {
-                    "service": self.service.stats(),
-                    "registry": self.observer.registry.snapshot(),
-                },
-            )
+            if "format=json" in query.split("&"):
+                await _send_json(
+                    writer,
+                    200,
+                    {
+                        "service": self.service.stats(),
+                        "registry": self.observer.registry.snapshot(),
+                    },
+                )
+            else:
+                await self._metrics_text(writer)
         elif path.startswith("/jobs/") and method == "GET":
             rest = path[len("/jobs/"):]
             if rest.endswith("/events"):
@@ -212,6 +220,29 @@ class HttpFrontDoor:
                     await _send_json(writer, 200, request.snapshot())
         else:
             await _send_json(writer, 404, {"error": f"no route {path}"})
+
+    async def _metrics_text(self, writer: asyncio.StreamWriter) -> None:
+        """Prometheus text exposition: registry + service counters."""
+        extra: Dict[str, Any] = {}
+        for key, value in self.service.stats().items():
+            if isinstance(value, dict):  # the nested breaker block
+                extra.update(
+                    {f"serve.{key}.{k}": v for k, v in value.items()}
+                )
+            else:
+                extra[f"serve.{key}"] = value
+        body = render_prometheus(
+            self.observer.registry.snapshot(), extra_gauges=extra
+        ).encode("utf-8")
+        writer.write(
+            _head(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                len(body),
+            )
+            + body
+        )
+        await writer.drain()
 
     # -- POST /solve -------------------------------------------------------
 

@@ -1,0 +1,93 @@
+"""Row rendering for the query CLI: aligned table, csv, or json.
+
+The shape follows percell3's query CLI (SNIPPETS.md): every query
+returns ``(rows, columns)`` and one formatter turns them into the
+requested output.  The table form is plain aligned text (no third-party
+table library — the repo is stdlib + numpy only), csv goes through the
+stdlib writer so quoting is correct, and json is the raw row dicts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import time
+from typing import Any, Dict, List, Sequence
+
+#: Formats ``--format`` accepts.
+FORMATS = ("table", "csv", "json")
+
+
+def _cell(value: Any) -> str:
+    """One value as display text (floats trimmed, None blanked)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def humanize_unix(value: Any) -> str:
+    """A unix timestamp as local ``YYYY-MM-DD HH:MM:SS`` (or blank)."""
+    try:
+        stamp = float(value)
+    except (TypeError, ValueError):
+        return ""
+    if stamp <= 0:
+        return ""
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+def format_rows(
+    rows: List[Dict[str, Any]],
+    columns: Sequence[str],
+    fmt: str = "table",
+) -> str:
+    """Render rows in the requested format; returns the full text.
+
+    ``table`` right-aligns numeric columns and pads with the widest
+    cell; ``csv`` emits a header row then data rows; ``json`` emits the
+    row dicts restricted to ``columns`` (stable key order).
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r} (expected {FORMATS})")
+    if fmt == "json":
+        shaped = [{col: row.get(col) for col in columns} for row in rows]
+        return json.dumps(shaped, indent=2, default=str)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([_cell(row.get(col)) for col in columns])
+        return buffer.getvalue().rstrip("\n")
+    # table
+    if not rows:
+        return "(no rows)"
+    rendered = [[_cell(row.get(col)) for col in columns] for row in rows]
+    numeric = [
+        all(
+            isinstance(row.get(col), (int, float)) or row.get(col) is None
+            for row in rows
+        )
+        for col in columns
+    ]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    def fit(text: str, i: int) -> str:
+        return text.rjust(widths[i]) if numeric[i] else text.ljust(widths[i])
+
+    lines = [
+        "  ".join(fit(str(col), i) for i, col in enumerate(columns)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for line in rendered:
+        lines.append(
+            "  ".join(fit(cell, i) for i, cell in enumerate(line)).rstrip()
+        )
+    return "\n".join(lines)

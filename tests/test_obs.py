@@ -26,6 +26,7 @@ from repro.obs import (
     collect_manifest,
     new_run_id,
     read_trace,
+    render_prometheus,
     render_report,
     start_run,
     summarize_traces,
@@ -588,3 +589,46 @@ class TestDisabledOverhead:
             lambda: preprocessor.preprocess(simple_sat_cnf)
         )
         assert not FORBIDDEN_OBS_CALLS.intersection(calls)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_and_cumulative_histogram(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("serve.requests").inc(5)
+        registry.gauge("queue.depth").set(2.0)
+        histogram = registry.histogram("serve.batch_size", (1.0, 4.0, 8.0))
+        for value in (1, 3, 5, 100):
+            histogram.observe(value)
+        text = render_prometheus(registry.snapshot())
+
+        assert "# TYPE serve_requests counter\nserve_requests 5" in text
+        assert "# TYPE queue_depth gauge\nqueue_depth 2" in text
+        # Snapshot counts are per-bucket; the exposition must be
+        # cumulative and close with the +Inf bucket holding everything.
+        assert 'serve_batch_size_bucket{le="1"} 1' in text
+        assert 'serve_batch_size_bucket{le="4"} 2' in text
+        assert 'serve_batch_size_bucket{le="8"} 3' in text
+        assert 'serve_batch_size_bucket{le="+Inf"} 4' in text
+        assert "serve_batch_size_count 4" in text
+        assert "serve_batch_size_sum 109" in text
+        assert text.endswith("\n")
+
+    def test_extra_gauges_and_name_sanitization(self):
+        text = render_prometheus(
+            {},
+            extra_gauges={
+                "serve.breaker.state": "closed",  # non-numeric: skipped
+                "serve.accepting": True,
+                "1weird-name": 7,
+            },
+        )
+        assert "# TYPE serve_accepting gauge\nserve_accepting 1" in text
+        assert "_1weird_name 7" in text
+        assert "closed" not in text
+
+    def test_empty_snapshot_renders_empty_document(self):
+        assert render_prometheus({}) == "\n"

@@ -617,3 +617,60 @@ def test_serve_request_snapshot_and_states():
     assert watched.get_nowait()["state"] == "INFERRING"
     assert watched.get_nowait()["state"] == "CANCELLED"
     assert request.http_code() == 200
+
+
+def test_http_metrics_prometheus_default_and_json_opt_in():
+    cnf = random_ksat(12, 40, seed=3)
+
+    async def scenario():
+        service, server, client = await _http_service()
+        try:
+            await client.solve(to_dimacs(cnf), max_conflicts=2_000)
+            prom = await client.metrics_text()
+            legacy = await client.metrics()
+        finally:
+            await _http_teardown(service, server)
+        return prom, legacy
+
+    prom, legacy = asyncio.run(scenario())
+    # Default /metrics is Prometheus text exposition 0.0.4.
+    assert prom.code == 200
+    assert prom.headers["content-type"].startswith("text/plain")
+    assert "version=0.0.4" in prom.headers["content-type"]
+    assert prom.json is None
+    assert "# TYPE serve_requests gauge" in prom.text
+    assert "serve_requests 1" in prom.text
+    assert "serve_responses 1" in prom.text
+    assert "serve_accepting 1" in prom.text
+    # ?format=json keeps the historical JSON payload for dashboards.
+    assert legacy.code == 200
+    assert legacy.json["service"]["responses"] == 1
+    assert "registry" in legacy.json
+
+
+def test_http_metrics_includes_observer_registry():
+    cnf = random_ksat(12, 40, seed=4)
+
+    async def scenario(observer):
+        service = SolveService(
+            _model(),
+            ServeConfig(max_batch=8, flush_window=0.1),
+            observer=observer,
+        )
+        server, _ = await start_service(service, port=0, observer=observer)
+        host, port = bound_address(server)
+        client = ServeClient(host, port)
+        try:
+            await client.solve(to_dimacs(cnf), max_conflicts=2_000)
+            return await client.metrics_text()
+        finally:
+            await _http_teardown(service, server)
+
+    from repro.obs import MetricsRegistry, Observer
+
+    observer = Observer(registry=MetricsRegistry(enabled=True))
+    reply = asyncio.run(scenario(observer))
+    # Registry histograms render as cumulative buckets with +Inf.
+    assert 'serve_batch_size_bucket{le="+Inf"} 1' in reply.text
+    assert "serve_batch_size_count 1" in reply.text
+    assert "# TYPE runner_done counter" in reply.text
