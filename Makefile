@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke chaos-smoke store-smoke trend-check examples clean
+.PHONY: install test bench bench-bcp bench-bcp-smoke report trace-report quick-bench fuzz-smoke serve-smoke session-smoke chaos-smoke store-smoke trend-check examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -50,6 +50,15 @@ fuzz-smoke:
 # proves amortized inference.  Mirrors the CI service-smoke job.
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# Incremental-session smoke: a seeded 200-step add/assume fuzz schedule
+# on both engine cores (warm answers bit-identical to fresh re-solves,
+# failed cores consistent) plus a 50-delta family through one
+# drift-gated selector session, with the forward-passes < instances
+# amortization claim read from session-select trace events.  Mirrors
+# the CI session-smoke job.
+session-smoke:
+	$(PYTHON) scripts/session_smoke.py
 
 # Chaos smoke: run the seeded CI storm (inference crash + breaker trip
 # and recovery + worker kill + journal write failure + mid-scenario

@@ -61,7 +61,14 @@ from repro.cnf import (
     write_dimacs_file,
 )
 from repro.policies import get_policy, policy_names
-from repro.solver import SOLVER_CORES, ProofLog, Solver, SolverConfig, Status
+from repro.solver import (
+    SOLVER_CORES,
+    ProofLog,
+    Solver,
+    SolverConfig,
+    SolverSession,
+    Status,
+)
 
 
 def _add_obs_args(p) -> None:
@@ -112,6 +119,14 @@ def _add_solve(subparsers) -> None:
     p.add_argument("--max-conflicts", type=int)
     p.add_argument("--max-propagations", type=int)
     p.add_argument("--assume", type=int, nargs="*", default=[])
+    p.add_argument("--incremental", action="store_true",
+                   help="treat the input as an incremental (iCNF-style) "
+                        "stream: clause lines accumulate into one warm "
+                        "solver session, each 'a <lits> 0' line triggers "
+                        "a solve under those assumptions (budgets apply "
+                        "per call), and UNSAT-under-assumptions answers "
+                        "print their failed-assumption core as an "
+                        "'f <lits> 0' line")
     p.add_argument("--preprocess", action="store_true",
                    help="run the simplification pipeline first")
     p.add_argument("--solver-core", default="arena", choices=SOLVER_CORES,
@@ -120,8 +135,111 @@ def _add_solve(subparsers) -> None:
     p.set_defaults(func=cmd_solve)
 
 
+def _parse_icnf(text: str):
+    """Parse an iCNF-style stream into (num_vars, steps).
+
+    Steps are ``("add", lits)`` / ``("solve", assumptions)`` in file
+    order.  Accepts plain DIMACS too (no ``a`` lines): the whole file
+    becomes add steps and one final unassumed solve.  ``p inccnf`` and
+    ``p cnf V C`` headers are both honored; without one, ``num_vars``
+    is the largest variable mentioned.
+    """
+    steps = []
+    num_vars = 0
+    group: List[int] = []
+    assuming = False
+    saw_solve = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) >= 3 and fields[1] == "cnf":
+                num_vars = max(num_vars, int(fields[2]))
+            continue  # "p inccnf" carries no counts
+        tokens = line.split()
+        if tokens[0] == "a":
+            if group:
+                raise ValueError(
+                    "assumption line inside an unterminated clause"
+                )
+            assuming = True
+            tokens = tokens[1:]
+        for token in tokens:
+            lit = int(token)
+            if lit == 0:
+                if assuming:
+                    steps.append(("solve", group))
+                    saw_solve = True
+                else:
+                    steps.append(("add", group))
+                group = []
+                assuming = False
+            else:
+                num_vars = max(num_vars, abs(lit))
+                group.append(lit)
+    if group:
+        steps.append(("solve" if assuming else "add", group))
+        saw_solve = saw_solve or assuming
+    if not saw_solve:
+        steps.append(("solve", []))
+    return num_vars, steps
+
+
+def _solve_incremental(args) -> int:
+    """Handle ``repro solve --incremental``: one warm session, many calls."""
+    from pathlib import Path
+
+    obs = _observer_from_args(args, "solve", policy=args.policy)
+    num_vars, steps = _parse_icnf(Path(args.file).read_text(encoding="utf-8"))
+    session = SolverSession(
+        num_vars,
+        policy=get_policy(args.policy),
+        config=SolverConfig(core=args.solver_core),
+        observer=obs,
+        session_id="cli",
+    )
+    code = 0
+    for op, lits in steps:
+        if op == "add":
+            session.add(*lits)
+            continue
+        result = session.solve(
+            assumptions=lits,
+            max_conflicts=args.max_conflicts,
+            max_propagations=args.max_propagations,
+        )
+        print(f"c call {session.solves} assumptions {len(lits)}")
+        print(f"s {result.status.value}")
+        if result.status is Status.SATISFIABLE:
+            literals = [
+                v if result.model[v] else -v for v in range(1, num_vars + 1)
+            ]
+            print("v " + " ".join(map(str, literals)) + " 0")
+        if result.core is not None:
+            print("f " + " ".join(map(str, result.core)) + " 0")
+        code = {Status.SATISFIABLE: 10, Status.UNSATISFIABLE: 20}.get(
+            result.status, 0
+        )
+    for key, value in session.solver.stats.to_dict().items():
+        print(f"c {key} {value}")
+    _finish_observer(obs, code)
+    return code
+
+
 def cmd_solve(args) -> int:
     """Handle ``repro solve``: solve a DIMACS file, print s/v lines."""
+    if args.incremental:
+        if args.preprocess:
+            raise SystemExit("--incremental and --preprocess are exclusive")
+        if args.assume:
+            raise SystemExit(
+                "--incremental takes assumptions from 'a' lines, not --assume"
+            )
+        if args.proof:
+            raise SystemExit("--incremental does not support --proof")
+        return _solve_incremental(args)
     cnf = parse_dimacs_file(args.file)
     obs = _observer_from_args(args, "solve", policy=args.policy)
     config = SolverConfig(core=args.solver_core)
@@ -153,6 +271,8 @@ def cmd_solve(args) -> int:
     if result.status is Status.SATISFIABLE:
         literals = [v if result.model[v] else -v for v in range(1, cnf.num_vars + 1)]
         print("v " + " ".join(map(str, literals)) + " 0")
+    if result.core is not None:
+        print("f " + " ".join(map(str, result.core)) + " 0")
     for key, value in result.stats.to_dict().items():
         print(f"c {key} {value}")
     code = {Status.SATISFIABLE: 10, Status.UNSATISFIABLE: 20}.get(result.status, 0)
@@ -1027,6 +1147,16 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--conflicts-per-second", type=float, default=25_000.0,
                    help="calibration rate converting a request's remaining "
                         "deadline into an affordable conflict budget")
+    p.add_argument("--session-ttl", type=float, default=300.0,
+                   help="idle seconds before a sticky incremental session "
+                        "(POST /sessions) is evicted")
+    p.add_argument("--max-sessions", type=int, default=64,
+                   help="concurrent live session cap; beyond it session "
+                        "creation is rejected with 429")
+    p.add_argument("--session-drift-threshold", type=float, default=0.1,
+                   help="expert-feature drift past which a session re-runs "
+                        "HGT policy inference instead of reusing its "
+                        "cached embedding")
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -1069,6 +1199,9 @@ def cmd_serve(args) -> int:
         breaker=breaker,
         inference_timeout=args.inference_timeout,
         conflicts_per_second=args.conflicts_per_second,
+        session_ttl=args.session_ttl,
+        max_sessions=args.max_sessions,
+        session_drift_threshold=args.session_drift_threshold,
     )
 
     async def _serve() -> None:

@@ -30,6 +30,7 @@ replayed.
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,6 +46,7 @@ from repro.policies.registry import get_policy
 from repro.solver.drat import DratError, check_drat
 from repro.solver.proof import ProofLog
 from repro.solver.reference import brute_force_status, dpll_solve
+from repro.solver.session import SolverSession
 from repro.solver.solver import Solver, SolverConfig
 from repro.solver.types import Model, Status
 
@@ -168,19 +170,26 @@ class OracleContext:
             self.solves += 1
         return self._memo[key]
 
-    def solve_core(self, cnf: CNF, core: str) -> Tuple[Status, Optional[Model]]:
+    def solve_core(
+        self, cnf: CNF, core: str, assumptions: Sequence[int] = ()
+    ) -> Tuple[Status, Optional[Model]]:
         """Memoized solve pinned to one solver core (default policy).
 
         Bypasses ``solve_fn`` deliberately: the core-agreement check
         compares the two real engines against each other, independent of
         whatever subject (possibly a fault-injected wrapper) the rest of
-        the bank is exercising.  Memo keys are namespaced (``core:``) so
-        they never collide with per-policy subject results.
+        the bank is exercising.  Memo keys are namespaced (``core:``,
+        plus the assumption literals when given) so they never collide
+        with per-policy subject results.
         """
-        key = (formula_key(cnf), f"core:{core}")
+        assumed = tuple(int(lit) for lit in assumptions)
+        tag = f"core:{core}"
+        if assumed:
+            tag += ":" + ",".join(map(str, assumed))
+        key = (formula_key(cnf), tag)
         if key not in self._memo:
             result = Solver(cnf, config=SolverConfig(core=core)).solve(
-                max_conflicts=self.budget
+                assumptions=assumed, max_conflicts=self.budget
             )
             self._memo[key] = (result.status, result.model)
             self.solves += 1
@@ -272,6 +281,43 @@ class DPLLOracle(Oracle):
         return []
 
 
+def derive_schedule(
+    cnf: CNF, steps: int = 6, seed_key: Optional[str] = None
+) -> List[Tuple[str, List[int]]]:
+    """A deterministic incremental schedule derived from the formula.
+
+    Returns ``("add", lits)`` / ``("solve", assumptions)`` steps (the
+    format :func:`repro.solver.session.replay_schedule` consumes),
+    seeded from the formula's content hash, so every independent caller
+    — campaign, corpus replay, the session-smoke job — drives the exact
+    same schedule for a given CNF.  The schedule always begins with an
+    unassumed solve (the base verdict) and ends with an assumed one.
+    """
+    variables = sorted(cnf.variables())
+    if not variables:
+        return []
+    rng = random.Random(int((seed_key or formula_key(cnf))[:16], 16))
+
+    def assumption_set() -> List[int]:
+        count = rng.randint(1, min(3, len(variables)))
+        chosen = rng.sample(variables, count)
+        return [var if rng.random() < 0.5 else -var for var in chosen]
+
+    schedule: List[Tuple[str, List[int]]] = [("solve", [])]
+    for _ in range(max(0, steps)):
+        if rng.random() < 0.4:
+            size = rng.randint(1, min(3, len(variables)))
+            clause = [
+                var if rng.random() < 0.5 else -var
+                for var in rng.sample(variables, size)
+            ]
+            schedule.append(("add", clause))
+        else:
+            schedule.append(("solve", assumption_set()))
+    schedule.append(("solve", assumption_set()))
+    return schedule
+
+
 class PolicyAgreementOracle(Oracle):
     """Two solver configurations must return the same verdict.
 
@@ -284,15 +330,47 @@ class PolicyAgreementOracle(Oracle):
     object-graph engine.  Verdicts are only compared when both runs
     decided within budget — configuration legitimately shifts how far a
     budget reaches.
+
+    In ``cores`` mode the one-shot comparison is followed by an
+    *incremental* one: a deterministic add-clause/assumption schedule
+    (:func:`derive_schedule`) is driven through a warm
+    :class:`~repro.solver.session.SolverSession` on each core, and at
+    every solve step the oracle demands
+
+    * identical decided statuses across the two cores,
+    * an arena status bit-identical to a fresh re-solve of the
+      accumulated formula under the same assumptions (the warm state
+      must never change an answer), and
+    * a *consistent* failed-assumption core for every
+      UNSAT-under-assumptions answer: the core is a subset of the
+      assumptions, and the accumulated formula is still UNSAT under
+      the core alone (``analyzeFinal`` cores are sound but not
+      guaranteed subset-minimal, so minimality is not asserted).
     """
 
     MODES = ("policies", "cores")
+
+    #: Formulas with more variables than this skip the incremental
+    #: schedule (the one-shot comparison still runs) — schedules
+    #: re-solve several times per case and fuzz formulas are small.
+    schedule_max_vars = 120
+
+    #: Random steps per derived schedule (plus the fixed first/last solve).
+    schedule_steps = 6
 
     def __init__(self, mode: str = "policies"):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.mode = mode
         self.name = "policy-agreement" if mode == "policies" else "core-agreement"
+        #: Test hook: builds the per-core warm session the schedule
+        #: drives.  Replacing it with a factory that returns a corrupted
+        #: session proves the incremental checks actually detect bugs.
+        self.session_factory: Callable[[CNF, str], SolverSession] = (
+            lambda formula, core: SolverSession(
+                formula.copy(), config=SolverConfig(core=core)
+            )
+        )
 
     def check(self, cnf: CNF, ctx: OracleContext) -> List[Discrepancy]:
         """Solve both configurations and compare decided verdicts."""
@@ -306,16 +384,108 @@ class PolicyAgreementOracle(Oracle):
             left, _ = ctx.solve_core(cnf, "object")
             right, _ = ctx.solve_core(cnf, "arena")
             detail = "solver cores disagree on satisfiability"
-        if not (left.decided and right.decided):
-            return []
-        if left is not right:
-            return [self._mismatch(
+        found: List[Discrepancy] = []
+        if left.decided and right.decided and left is not right:
+            found.append(self._mismatch(
                 ctx, "status-mismatch",
                 f"{left_name}={left.value}",
                 f"{right_name}={right.value}",
                 detail,
-            )]
-        return []
+            ))
+        if self.mode == "cores" and len(cnf.variables()) <= self.schedule_max_vars:
+            found.extend(self._check_schedule(cnf, ctx))
+        return found
+
+    # -- the incremental cross-core battery --------------------------------
+
+    def _check_schedule(
+        self, cnf: CNF, ctx: OracleContext
+    ) -> List[Discrepancy]:
+        """Drive one derived schedule through both cores and cross-check."""
+        schedule = derive_schedule(cnf, steps=self.schedule_steps)
+        if not schedule:
+            return []
+        sessions = {
+            core: self.session_factory(cnf, core)
+            for core in ("object", "arena")
+        }
+        accumulated = cnf.copy()
+        found: List[Discrepancy] = []
+        for index, (op, lits) in enumerate(schedule):
+            if op == "add":
+                accumulated.add_clause(lits)
+                for session in sessions.values():
+                    session.add(*lits)
+                continue
+            results = {
+                core: session.solve(
+                    assumptions=lits, max_conflicts=ctx.budget
+                )
+                for core, session in sessions.items()
+            }
+            where = f"schedule step {index} (assumptions {lits})"
+            left, right = results["object"].status, results["arena"].status
+            if left.decided and right.decided and left is not right:
+                found.append(self._mismatch(
+                    ctx, "status-mismatch",
+                    f"object={left.value}", f"arena={right.value}",
+                    f"incremental cores disagree at {where}",
+                ))
+            fresh, _ = ctx.solve_core(accumulated, "arena", assumptions=lits)
+            incremental = results["arena"].status
+            if (
+                fresh.decided
+                and incremental.decided
+                and fresh is not incremental
+            ):
+                found.append(self._mismatch(
+                    ctx, "status-mismatch",
+                    f"fresh={fresh.value}",
+                    f"incremental={incremental.value}",
+                    f"warm arena session diverged from a fresh re-solve "
+                    f"at {where}",
+                ))
+            for core, result in results.items():
+                found.extend(self._check_core_soundness(
+                    ctx, accumulated, core, lits, result, where
+                ))
+        return found
+
+    def _check_core_soundness(
+        self,
+        ctx: OracleContext,
+        accumulated: CNF,
+        core: str,
+        assumptions: List[int],
+        result,
+        where: str,
+    ) -> List[Discrepancy]:
+        """Failed-assumption cores must be assumption subsets that still
+        make the formula UNSAT (consistency; minimality not guaranteed)."""
+        if result.status is not Status.UNSATISFIABLE or result.core is None:
+            return []
+        found: List[Discrepancy] = []
+        if not set(result.core) <= set(assumptions):
+            found.append(self._mismatch(
+                ctx, "core-not-assumptions",
+                f"subset of {assumptions}",
+                f"{core} core {result.core}",
+                f"failed-assumption core contains non-assumption "
+                f"literals at {where}",
+            ))
+            return found
+        status, _ = ctx.solve_core(
+            accumulated, "arena", assumptions=result.core
+        )
+        if status is Status.SATISFIABLE:
+            found.append(self._mismatch(
+                ctx, "core-insufficient",
+                "UNSAT under the failed-assumption core",
+                "SATISFIABLE",
+                f"{core} core {result.core} does not preserve "
+                f"unsatisfiability at {where}",
+            ))
+        return found
 
 
 class PreprocessingOracle(Oracle):

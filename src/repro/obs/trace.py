@@ -57,6 +57,10 @@ EVENT_TYPES = frozenset({
     # solve service (repro.serve)
     "serve-start", "serve-request", "serve-batch", "serve-response",
     "serve-stop",
+    # incremental sessions (repro.solver.session / repro.selection.session
+    # / repro.serve.sessions)
+    "session-start", "session-select", "session-solve", "session-evict",
+    "session-end",
     # resilience (repro.serve.resilience)
     "breaker-transition",
     # chaos harness (repro.chaos)

@@ -23,6 +23,13 @@ from repro.selection.dataset import (
 from repro.selection.metrics import ClassificationMetrics, classification_metrics
 from repro.selection.trainer import Trainer, TrainingHistory
 from repro.selection.selector import NeuroSelectSolver, SelectionOutcome
+from repro.selection.session import (
+    DEFAULT_DRIFT_THRESHOLD,
+    SelectorSession,
+    SessionSelection,
+    feature_distance,
+    new_session_id,
+)
 from repro.selection.storage import save_dataset, load_dataset
 from repro.selection.validation import (
     CrossValidationResult,
@@ -53,6 +60,11 @@ __all__ = [
     "TrainingHistory",
     "NeuroSelectSolver",
     "SelectionOutcome",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "SelectorSession",
+    "SessionSelection",
+    "feature_distance",
+    "new_session_id",
     "CrossValidationResult",
     "cross_validate",
     "k_fold_splits",

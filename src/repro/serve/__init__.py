@@ -35,6 +35,7 @@ from repro.serve.resilience import (
     CircuitBreaker,
 )
 from repro.serve.service import ServeConfig, SolveService
+from repro.serve.sessions import ServeSession, SessionManager
 
 __all__ = [
     "AdmissionError",
@@ -52,6 +53,8 @@ __all__ = [
     "ServeConfig",
     "ServeReply",
     "ServeRequest",
+    "ServeSession",
+    "SessionManager",
     "SolveService",
     "bound_address",
     "http_code_for",

@@ -31,7 +31,7 @@ import asyncio
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Any, AsyncIterator, Dict, Optional
+from typing import Any, AsyncIterator, Dict, Optional, Sequence
 
 
 @dataclass
@@ -256,6 +256,54 @@ class ServeClient:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    # -- sticky sessions ---------------------------------------------------
+
+    async def session_create(
+        self,
+        dimacs: Optional[str] = None,
+        num_vars: Optional[int] = None,
+        ttl: Optional[float] = None,
+        drift_threshold: Optional[float] = None,
+    ) -> ServeReply:
+        """Open a sticky incremental session (``POST /sessions``)."""
+        payload: Dict[str, Any] = {}
+        if dimacs is not None:
+            payload["dimacs"] = dimacs
+        if num_vars is not None:
+            payload["num_vars"] = num_vars
+        if ttl is not None:
+            payload["ttl"] = ttl
+        if drift_threshold is not None:
+            payload["drift_threshold"] = drift_threshold
+        return await self._call("POST", "/sessions", payload)
+
+    async def session_solve(
+        self,
+        session_id: str,
+        add: Optional[Sequence[Sequence[int]]] = None,
+        assumptions: Optional[Sequence[int]] = None,
+        max_conflicts: Optional[int] = None,
+    ) -> ServeReply:
+        """One incremental solve call against a session."""
+        payload: Dict[str, Any] = {}
+        if add is not None:
+            payload["add"] = [list(clause) for clause in add]
+        if assumptions is not None:
+            payload["assume"] = [int(lit) for lit in assumptions]
+        if max_conflicts is not None:
+            payload["max_conflicts"] = max_conflicts
+        return await self._call(
+            "POST", f"/sessions/{session_id}/solve", payload
+        )
+
+    async def session_info(self, session_id: str) -> ServeReply:
+        """Session snapshot (``GET /sessions/<id>``)."""
+        return await self._call("GET", f"/sessions/{session_id}")
+
+    async def session_close(self, session_id: str) -> ServeReply:
+        """End a session (``DELETE /sessions/<id>``)."""
+        return await self._call("DELETE", f"/sessions/{session_id}")
 
     async def health(self) -> ServeReply:
         """Service counters (``GET /healthz``)."""

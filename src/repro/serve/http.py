@@ -25,8 +25,26 @@ JSON bodies.  Endpoints:
     NDJSON stream: the current snapshot, then one line per lifecycle
     transition, closing after the terminal state.
 
+``POST /sessions``
+    Open a sticky incremental session.  Body ``{"num_vars": N}`` or
+    ``{"dimacs": "..."}`` (the seed formula), plus optional ``"ttl"``
+    (idle seconds before eviction) and ``"drift_threshold"``.
+    Responds ``201 {"id": ...}``; at capacity ``429``.
+
+``POST /sessions/<id>/solve``
+    One incremental call on a session: body ``{"add": [[...], ...]?,
+    "assume": [...]?, "max_conflicts": N?}``.  Clauses in ``add`` are
+    added first, then the solver runs under the ``assume`` literals.
+    The response carries the status, a model (SAT) or the
+    failed-assumption core (UNSAT under assumptions), the policy the
+    drift-aware selector picked, and whether the cached embedding was
+    reused.  ``404`` for an unknown or TTL-evicted session.
+
+``GET /sessions/<id>`` / ``DELETE /sessions/<id>``
+    Session snapshot / explicit close.
+
 ``GET /healthz``
-    Service counters: queue depth, totals, inference passes.
+    Service counters: queue depth, totals, inference passes, sessions.
 
 ``GET /metrics``
     Prometheus text exposition format (version 0.0.4): the metrics
@@ -57,6 +75,7 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 
 _REASONS = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
@@ -208,6 +227,13 @@ class HttpFrontDoor:
                 )
             else:
                 await self._metrics_text(writer)
+        elif path == "/sessions":
+            if method != "POST":
+                await _send_json(writer, 405, {"error": "POST /sessions"})
+                return
+            await self._session_create(body, writer)
+        elif path.startswith("/sessions/"):
+            await self._session_route(method, path, body, writer)
         elif path.startswith("/jobs/") and method == "GET":
             rest = path[len("/jobs/"):]
             if rest.endswith("/events"):
@@ -321,6 +347,138 @@ class HttpFrontDoor:
             await request.done.wait()
             return  # nobody is listening for the response
         await _send_json(writer, request.http_code(), request.snapshot())
+
+    # -- /sessions ---------------------------------------------------------
+
+    async def _session_create(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """POST /sessions: open one sticky incremental session."""
+        if not self.service.accepting:
+            await _send_json(
+                writer,
+                503,
+                {"error": "service is not accepting requests"},
+                extra={"Retry-After": "5"},
+            )
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            cnf = None
+            if "dimacs" in payload:
+                cnf = parse_dimacs(payload["dimacs"])
+            num_vars = int(payload.get("num_vars", 0))
+            if cnf is None and num_vars <= 0:
+                raise ValueError("provide 'dimacs' or a positive 'num_vars'")
+            ttl = payload.get("ttl")
+            if ttl is not None:
+                ttl = float(ttl)
+                if ttl <= 0:
+                    raise ValueError("ttl must be positive")
+            drift = payload.get("drift_threshold")
+            if drift is not None:
+                drift = float(drift)
+                if drift < 0:
+                    raise ValueError("drift_threshold must be >= 0")
+        except Exception as exc:  # malformed JSON, DIMACS, or fields
+            await _send_json(
+                writer, 400, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        try:
+            session = self.service.sessions.create(
+                cnf=cnf, num_vars=num_vars, ttl=ttl, drift_threshold=drift
+            )
+        except AdmissionError as exc:
+            await _send_json(
+                writer,
+                exc.http_code,
+                {"error": str(exc), "reason": getattr(exc, "reason", "")},
+                extra={"Retry-After": f"{getattr(exc, 'retry_after', 1.0):g}"},
+            )
+            return
+        await _send_json(writer, 201, session.snapshot())
+
+    async def _session_route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Dispatch /sessions/<id>[...] paths."""
+        rest = path[len("/sessions/"):]
+        if rest.endswith("/solve"):
+            session_id = rest[: -len("/solve")].rstrip("/")
+            if method != "POST":
+                await _send_json(
+                    writer, 405, {"error": "POST /sessions/<id>/solve"}
+                )
+                return
+            await self._session_solve(session_id, body, writer)
+            return
+        session_id = rest.rstrip("/")
+        session = self.service.sessions.get(session_id)
+        if method == "GET":
+            if session is None:
+                await _send_json(writer, 404, {"error": "no such session"})
+            else:
+                await _send_json(writer, 200, session.snapshot())
+        elif method == "DELETE":
+            if not self.service.sessions.close(session_id):
+                await _send_json(writer, 404, {"error": "no such session"})
+            else:
+                await _send_json(writer, 200, {"id": session_id, "closed": True})
+        else:
+            await _send_json(
+                writer, 405, {"error": "GET or DELETE /sessions/<id>"}
+            )
+
+    async def _session_solve(
+        self, session_id: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """POST /sessions/<id>/solve: one incremental call."""
+        session = self.service.sessions.get(session_id)
+        if session is None:
+            await _send_json(writer, 404, {"error": "no such session"})
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            add = payload.get("add", [])
+            if not isinstance(add, list) or not all(
+                isinstance(c, list) for c in add
+            ):
+                raise ValueError("'add' must be a list of clauses")
+            assume = payload.get("assume", [])
+            if not isinstance(assume, list):
+                raise ValueError("'assume' must be a list of literals")
+            max_conflicts = payload.get("max_conflicts")
+            if max_conflicts is not None:
+                max_conflicts = int(max_conflicts)
+        except Exception as exc:
+            await _send_json(
+                writer, 400, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        try:
+            result = await self.service.sessions.solve(
+                session,
+                add=add,
+                assumptions=assume,
+                max_conflicts=max_conflicts,
+            )
+        except ValueError as exc:
+            # Out-of-range variables, zero literals: the session stays
+            # usable; the bad call is the client's to fix.
+            await _send_json(
+                writer, 400, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        await _send_json(writer, 200, result)
 
     # -- GET /jobs/<id>/events ---------------------------------------------
 

@@ -66,6 +66,7 @@ from repro.serve.resilience import (
     CircuitBreaker,
     clamp_conflicts_to_deadline,
 )
+from repro.serve.sessions import SessionManager
 from repro.solver.solver import SolverConfig
 from repro.solver.types import Status
 
@@ -100,6 +101,13 @@ class ServeConfig:
     #: Calibration rate turning a request's remaining deadline into an
     #: affordable conflict budget (see resilience module docs).
     conflicts_per_second: float = 25_000.0
+    # -- sticky sessions (repro.serve.sessions) ---------------------------
+    #: Idle seconds before a session is evicted.
+    session_ttl: float = 300.0
+    #: Concurrent live sessions; beyond it ``POST /sessions`` is 429.
+    max_sessions: int = 64
+    #: Expert-feature drift past which a session re-runs HGT inference.
+    session_drift_threshold: float = 0.1
 
 
 _STOP = object()
@@ -142,6 +150,18 @@ class SolveService:
             observer=observer,
         )
         self.solver_config = SolverConfig(core=cfg.solver_core)
+        self.sessions = SessionManager(
+            model,
+            solver_config=self.solver_config,
+            session_ttl=cfg.session_ttl,
+            max_sessions=cfg.max_sessions,
+            drift_threshold=cfg.session_drift_threshold,
+            max_nodes=cfg.max_nodes,
+            threshold=cfg.threshold,
+            default_max_conflicts=cfg.default_max_conflicts,
+            max_conflicts_cap=cfg.max_conflicts_cap,
+            observer=observer,
+        )
         self.requests: Dict[str, ServeRequest] = {}
         self.accepting = False
         # Plain-int totals: always live, even with observability off
@@ -204,6 +224,7 @@ class SolveService:
                 task.cancel()
         if active:
             await asyncio.gather(*active, return_exceptions=True)
+        self.sessions.close_all()
         await self.batcher.stop()
         if self._solve_task is not None:
             await self._solve_queue.put(_STOP)
@@ -575,6 +596,7 @@ class SolveService:
             "inference_passes": self.batcher.passes,
             "inference_served": self.batcher.served,
             "inference_failures": self.batcher.failures,
+            "sessions": self.sessions.stats(),
         }
         if self.breaker is not None:
             stats["breaker"] = self.breaker.stats()

@@ -30,6 +30,7 @@ from repro.solver.restart import LubyRestarts, EMARestarts, luby
 from repro.solver.reduce import ArenaReduceScheduler, ReduceScheduler
 from repro.solver.proof import ProofLog
 from repro.solver.solver import SOLVER_CORES, Solver, SolverConfig, SolveResult, solve
+from repro.solver.session import SolverSession, replay_schedule
 from repro.solver.reference import brute_force_status, dpll_solve
 from repro.solver.drat import check_drat, trim_proof, DratError
 from repro.solver.walksat import WalkSAT, WalkSATResult, walksat_phases
@@ -65,7 +66,9 @@ __all__ = [
     "Solver",
     "SOLVER_CORES",
     "SolverConfig",
+    "SolverSession",
     "SolveResult",
+    "replay_schedule",
     "solve",
     "brute_force_status",
     "dpll_solve",
